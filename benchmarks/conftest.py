@@ -1,0 +1,44 @@
+"""pytest-benchmark configuration for the figure-regeneration benches.
+
+Each bench runs one paper experiment at reduced scale through
+``benchmark.pedantic`` (one round — the simulations are deterministic, so
+repetition only measures interpreter noise) and attaches headline numbers
+from the experiment's tables to ``benchmark.extra_info`` so the shape of
+the result is visible straight from the benchmark report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run an experiment under the benchmark harness and return its tables."""
+
+    from repro.experiments import run_experiment
+
+    def runner(experiment_id, scale, **extra_info):
+        results = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info.update(extra_info)
+        return results
+
+    return runner
+
+
+def rows_by(result, **filters):
+    """Filter an ExperimentResult's rows by named column values."""
+    indices = {name: result.headers.index(name) for name in filters}
+    return [
+        row
+        for row in result.rows
+        if all(row[indices[name]] == value for name, value in filters.items())
+    ]
+
+
+def column(result, row, name):
+    return row[list(result.headers).index(name)]

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 2 (control-flow characterization)."""
+
+from conftest import column, rows_by
+
+SCALE = 0.5
+
+
+def test_bench_fig02_characterization(run_figure):
+    results = run_figure("fig2", SCALE)
+    by_id = {r.experiment_id: r for r in results}
+
+    summary = by_id["fig2a-e2e"]
+    comm_pct = {
+        column(summary, row, "bench"): column(summary, row, "comm_pct")
+        for row in summary.rows
+    }
+    # Figure 2(a): wc is communication-dominated, img computation-dominated.
+    assert comm_pct["wc"] > 70.0
+    assert comm_pct["img"] < 40.0
+    assert comm_pct["wc"] > comm_pct["vid"] > comm_pct["img"]
+
+    # Figure 2(c): the production orchestrator costs tens of ms per trigger.
+    for row in summary.rows:
+        trigger_ms = column(summary, row, "avg_trigger_ms_per_fn")
+        assert 20.0 < trigger_ms < 200.0
+
+    # Figure 2(b): control flow never overlaps CPU and network.
+    usage = by_id["fig2b"]
+    for row in usage.rows:
+        assert column(usage, row, "cpu_net_overlap_s") == 0.0

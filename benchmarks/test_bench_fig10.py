@@ -1,0 +1,46 @@
+"""Bench: regenerate Figure 10 (async latency + memory vs load)."""
+
+from conftest import column, rows_by
+
+SCALE = 0.35
+
+
+def test_bench_fig10_latency_memory(run_figure):
+    results = run_figure("fig10", SCALE)
+    table = results[0]
+
+    # At every (bench, rpm) point where all systems completed, DataFlower's
+    # p99 must not exceed the baselines'.
+    wins = total = 0
+    for row in table.rows:
+        if column(table, row, "system") != "dataflower":
+            continue
+        bench = column(table, row, "bench")
+        rpm = column(table, row, "rpm")
+        flower_p99 = column(table, row, "p99_s")
+        if flower_p99 != flower_p99:  # NaN: all requests timed out
+            continue
+        for baseline in ["faasflow", "sonic"]:
+            other = rows_by(table, bench=bench, rpm=rpm, system=baseline)
+            if not other:
+                continue
+            other_p99 = column(table, other[0], "p99_s")
+            if other_p99 != other_p99:
+                continue
+            total += 1
+            if flower_p99 <= other_p99 * 1.02:
+                wins += 1
+    assert total > 0
+    assert wins / total >= 0.9, f"DataFlower won only {wins}/{total} p99 points"
+
+    # Memory claim: DataFlower uses less container memory than FaaSFlow.
+    for bench in ["vid", "svd", "wc"]:
+        flower = rows_by(table, bench=bench, system="dataflower")
+        faas = rows_by(table, bench=bench, system="faasflow")
+        flower_mem = [column(table, r, "mem_gbs_per_req") for r in flower]
+        faas_mem = [column(table, r, "mem_gbs_per_req") for r in faas]
+        pairs = [
+            (f, b) for f, b in zip(flower_mem, faas_mem) if f == f and b == b
+        ]
+        assert pairs
+        assert sum(f for f, _ in pairs) < sum(b for _, b in pairs)

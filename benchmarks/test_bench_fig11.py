@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 11 (closed-loop peak throughput)."""
+
+from conftest import column
+
+SCALE = 0.35
+
+
+def test_bench_fig11_throughput(run_figure):
+    results = run_figure("fig11", SCALE)
+    peaks = next(r for r in results if r.experiment_id == "fig11-peaks")
+
+    ratios = {}
+    for row in peaks.rows:
+        bench = column(peaks, row, "bench")
+        baseline = column(peaks, row, "baseline")
+        ratios[(bench, baseline)] = column(peaks, row, "ratio")
+
+    # DataFlower's peak throughput beats both baselines on every benchmark.
+    for key, ratio in ratios.items():
+        assert ratio > 1.0, f"{key}: ratio {ratio}"
+
+    # The paper's ordering: wc (comm-heavy) gains the most vs FaaSFlow,
+    # img (compute-heavy) the least.
+    assert ratios[("wc", "faasflow")] > ratios[("img", "faasflow")]
+    assert ratios[("wc", "faasflow")] > 2.0
+    assert ratios[("img", "faasflow")] < 2.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 13 (wc trigger timeline, single node)."""
+
+from conftest import column
+
+SCALE = 1.0  # a handful of solo requests: cheap at full scale
+
+
+def test_bench_fig13_trigger_timeline(run_figure):
+    results = run_figure("fig13", SCALE)
+    gaps = next(r for r in results if r.experiment_id == "fig13-gaps")
+
+    lag = {
+        column(gaps, row, "system"): (
+            column(gaps, row, "count_lag_ms"),
+            column(gaps, row, "merge_lag_ms"),
+            column(gaps, row, "e2e_s"),
+        )
+        for row in gaps.rows
+    }
+    # DataFlower triggers count BEFORE start completes (streamed chunks)...
+    assert lag["dataflower"][0] < 0
+    # ...and merge within a few ms of count's completion.
+    assert lag["dataflower"][1] < 5.0
+    # Control-flow systems lag behind their predecessors.
+    assert lag["faasflow"][0] > 3.0
+    assert lag["sonic"][0] > lag["faasflow"][0]
+    # End-to-end ordering matches the paper's timeline.
+    assert lag["dataflower"][2] < lag["faasflow"][2] < lag["sonic"][2]

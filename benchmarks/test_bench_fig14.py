@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 14 (host cache usage for intermediate data)."""
+
+from conftest import column
+
+SCALE = 0.4
+
+
+def test_bench_fig14_cache_usage(run_figure):
+    results = run_figure("fig14", SCALE)
+    reduction = next(r for r in results if r.experiment_id == "fig14-reduction")
+
+    for row in reduction.rows:
+        bench = column(reduction, row, "bench")
+        flower = column(reduction, row, "dataflower_mbs")
+        faasflow = column(reduction, row, "faasflow_mbs")
+        pct = column(reduction, row, "reduction_pct")
+        # Proactive release + passive expire always beat request-lifetime
+        # caching, substantially so (paper: 19.1% .. 97.5%).
+        assert flower < faasflow, bench
+        assert pct > 15.0, f"{bench}: only {pct:.1f}% reduction"

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 15 (bursty load CDF and sigma)."""
+
+from conftest import column
+
+SCALE = 1.0  # 110 requests over two minutes: cheap at full scale
+
+
+def test_bench_fig15_bursty(run_figure):
+    results = run_figure("fig15", SCALE)
+    summary = results[0]
+
+    stats = {
+        column(summary, row, "system"): (
+            column(summary, row, "mean_s"),
+            column(summary, row, "p99_s"),
+            column(summary, row, "sigma"),
+        )
+        for row in summary.rows
+    }
+    # DataFlower has the lowest mean and p99 under the burst.
+    assert stats["dataflower"][0] < stats["faasflow"][0]
+    assert stats["dataflower"][0] < stats["sonic"][0]
+    assert stats["dataflower"][1] < stats["sonic"][1]
+    # SONIC handles the burst worst (paper: sigma 0.155 vs ~0.05).
+    assert stats["sonic"][2] > stats["dataflower"][2]

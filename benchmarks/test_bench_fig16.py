@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 16 (fan-out and input-size adaptiveness)."""
+
+from conftest import column, rows_by
+
+SCALE = 0.4
+
+
+def _throughput(table, **filters):
+    rows = rows_by(table, **filters)
+    assert rows, filters
+    return column(table, rows[0], "throughput_rpm")
+
+
+def test_bench_fig16_adaptiveness(run_figure):
+    results = run_figure("fig16", SCALE)
+    by_id = {r.experiment_id: r for r in results}
+
+    branches_table = by_id["fig16a"]
+    branch_values = sorted({row[0] for row in branches_table.rows})
+    # DataFlower wins at every branch count...
+    for branches in branch_values:
+        flower = _throughput(branches_table, branches=branches, system="dataflower")
+        faas = _throughput(branches_table, branches=branches, system="faasflow")
+        assert flower > faas
+    # ...and its advantage grows with the fan-out width.
+    low, high = branch_values[0], branch_values[-1]
+    gain_low = _throughput(branches_table, branches=low, system="dataflower") / \
+        _throughput(branches_table, branches=low, system="faasflow")
+    gain_high = _throughput(branches_table, branches=high, system="dataflower") / \
+        _throughput(branches_table, branches=high, system="faasflow")
+    assert gain_high > gain_low
+
+    size_table = by_id["fig16b"]
+    sizes = sorted({row[0] for row in size_table.rows})
+    small, large = sizes[0], sizes[-1]
+    # The gain shrinks as input grows (CPU becomes the bottleneck).
+    gain_small = _throughput(size_table, input_mb=small, system="dataflower") / \
+        _throughput(size_table, input_mb=small, system="faasflow")
+    gain_large = _throughput(size_table, input_mb=large, system="dataflower") / \
+        _throughput(size_table, input_mb=large, system="faasflow")
+    assert gain_small > gain_large
+    assert gain_large > 1.0

@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 17 (scaling containers up)."""
+
+from conftest import column, rows_by
+
+SCALE = 0.4
+
+
+def _throughput(table, **filters):
+    rows = rows_by(table, **filters)
+    assert rows, filters
+    return column(table, rows[0], "throughput_rpm")
+
+
+def test_bench_fig17_scaleup(run_figure):
+    results = run_figure("fig17", SCALE)
+    table = results[0]
+    sizes = sorted({row[0] for row in table.rows})
+    small, large = sizes[0], sizes[-1]
+
+    # DataFlower and SONIC profit from scale-up (direct data passing).
+    for system in ["dataflower", "sonic"]:
+        assert _throughput(table, container_mb=large, system=system) > \
+            1.5 * _throughput(table, container_mb=small, system=system)
+
+    # FaaSFlow's backend-store bottleneck caps its scale-up benefit.
+    faas_gain = _throughput(table, container_mb=large, system="faasflow") / \
+        _throughput(table, container_mb=small, system="faasflow")
+    flower_gain = _throughput(table, container_mb=large, system="dataflower") / \
+        _throughput(table, container_mb=small, system="dataflower")
+    assert flower_gain > faas_gain
+
+    # At the largest containers DataFlower clearly beats FaaSFlow
+    # (paper: +148.4%).
+    assert _throughput(table, container_mb=large, system="dataflower") > \
+        1.5 * _throughput(table, container_mb=large, system="faasflow")

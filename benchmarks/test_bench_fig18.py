@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 18 (co-located benchmarks under load)."""
+
+from conftest import column, rows_by
+
+SCALE = 0.4  # runs low + ultra levels
+
+
+def test_bench_fig18_colocation(run_figure):
+    results = run_figure("fig18", SCALE)
+    table = results[0]
+
+    # DataFlower survives Ultra load without failures and within the
+    # paper's < 2x degradation bound.
+    for row in rows_by(table, level="ultra", system="dataflower"):
+        assert column(table, row, "failed") == 0
+        degradation = column(table, row, "vs_solo")
+        assert degradation == degradation  # not NaN
+        assert degradation < 2.0
+
+    # The control-flow baselines fail at Ultra (timeouts appear).
+    for system in ["faasflow", "sonic"]:
+        failures = sum(
+            column(table, row, "failed")
+            for row in rows_by(table, level="ultra", system=system)
+        )
+        assert failures > 0, f"{system} survived ultra load"
+
+    # At Low co-location, DataFlower has the shortest latency everywhere.
+    for row in rows_by(table, level="low", system="dataflower"):
+        bench = column(table, row, "bench")
+        flower = column(table, row, "avg_latency_s")
+        for system in ["faasflow", "sonic"]:
+            other = rows_by(table, level="low", bench=bench, system=system)
+            assert flower < column(table, other[0], "avg_latency_s")

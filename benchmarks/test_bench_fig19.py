@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 19 (stateful functions integration)."""
+
+from conftest import column
+
+SCALE = 1.0  # two warm solo requests per benchmark: cheap at full scale
+
+
+def test_bench_fig19_stateful(run_figure):
+    results = run_figure("fig19", SCALE)
+    table = results[0]
+
+    for row in table.rows:
+        bench = column(table, row, "bench")
+        reduction = column(table, row, "reduction_pct")
+        # The streaming pipe connector beats the state machine's two-hop
+        # context-object passing on every benchmark (paper: up to 47.6%).
+        assert reduction > 20.0, f"{bench}: only {reduction:.1f}%"
+        assert reduction < 80.0, f"{bench}: implausible {reduction:.1f}%"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Watch pressure-aware scaling absorb a traffic burst.
+
+Replays the Figure 15 scenario — WordCount load jumping 10x — on
+DataFlower with and without the pressure-aware mechanism, and reports how
+each variant's latency distribution and container fleet respond.
+
+Run:  python examples/bursty_autoscaling.py
+"""
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerConfig,
+    DataFlowerSystem,
+    Environment,
+    burst,
+    default_request_factory,
+    render_table,
+    round_robin,
+    run_open_loop,
+)
+from repro.apps import get_app
+
+
+def run_variant(pressure_aware: bool):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(
+        env, cluster, DataFlowerConfig(pressure_aware=pressure_aware)
+    )
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    factory = default_request_factory(
+        system, workflow.name, app.default_input_bytes, app.default_fanout
+    )
+    result = run_open_loop(
+        system, workflow.name, factory,
+        burst(base_rpm=10, burst_rpm=100, base_duration_s=60, burst_duration_s=60),
+    )
+    containers = sum(
+        dispatcher.pool.cold_starts
+        for deployment in system.deployments.values()
+        for dispatcher in deployment.dispatchers.values()
+    )
+    return result, containers
+
+
+def main() -> None:
+    rows = []
+    for pressure_aware in [True, False]:
+        result, containers = run_variant(pressure_aware)
+        latency = result.latency()
+        rows.append(
+            [
+                "pressure-aware" if pressure_aware else "non-aware",
+                result.offered,
+                f"{latency.mean_s:.3f}",
+                f"{latency.p99_s:.3f}",
+                f"{latency.sigma_s:.3f}",
+                containers,
+                len(result.failed),
+            ]
+        )
+    print(
+        render_table(
+            ["variant", "requests", "mean_s", "p99_s", "sigma", "cold starts",
+             "failed"],
+            rows,
+            title="wc under a 10 rpm -> 100 rpm burst (2 minutes)",
+        )
+    )
+    print(
+        "\nThe Callstack blocking signal (Equation 1) limits each FLU to "
+        "its DLU's\ndrain rate, so the burst translates into scale-out "
+        "instead of queueing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare DataFlower against FaaSFlow and SONIC on the video pipeline.
+
+Drives the vid benchmark (split -> transcode x4 -> merge, the workload the
+paper's introduction motivates) with an open-loop load on all three
+systems and prints the latency/memory comparison of Figure 10(b).
+
+Run:  python examples/compare_systems.py [rpm]
+"""
+
+import sys
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerSystem,
+    Environment,
+    FaasFlowSystem,
+    SonicSystem,
+    constant,
+    default_request_factory,
+    render_table,
+    round_robin,
+    run_open_loop,
+)
+from repro.apps import get_app
+
+SYSTEMS = [DataFlowerSystem, FaasFlowSystem, SonicSystem]
+
+
+def run_one(system_cls, rpm: float, duration_s: float = 60.0):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = system_cls(env, cluster)
+    app = get_app("vid")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    factory = default_request_factory(
+        system, workflow.name, app.default_input_bytes, app.default_fanout
+    )
+    return run_open_loop(
+        system, workflow.name, factory, constant(rpm, duration_s)
+    )
+
+
+def main() -> None:
+    rpm = float(sys.argv[1]) if len(sys.argv) > 1 else 16.0
+    rows = []
+    for system_cls in SYSTEMS:
+        result = run_one(system_cls, rpm)
+        latency = result.latency()
+        rows.append(
+            [
+                result.system_name,
+                result.offered,
+                f"{latency.mean_s:.2f}",
+                f"{latency.p99_s:.2f}",
+                f"{result.usage.memory_gbs_per_request:.2f}",
+                len(result.failed),
+            ]
+        )
+    print(
+        render_table(
+            ["system", "requests", "mean_s", "p99_s", "mem GB*s/req", "failed"],
+            rows,
+            title=f"Video-FFmpeg at {rpm:.0f} rpm (async invocations, 60 s)",
+        )
+    )
+    print(
+        "\nDataFlower wins on both latency (early triggering + streaming "
+        "overlap)\nand memory (containers finish sooner; sink entries are "
+        "proactively released)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Define a custom dynamic workflow in the Figure-7 DSL and run it.
+
+The workflow models a content-moderation service with a *dynamic* DAG:
+``classify`` routes each request to either a cheap ``fast_path`` or an
+expensive ``deep_scan`` via a SWITCH edge, and both paths merge into
+``publish``.  This exercises:
+
+* the declarative data-flow DSL (paper Figure 7),
+* SWITCH edges / dynamic DAG support (§5.1),
+* per-request data-flow graph resolution.
+
+Run:  python examples/custom_workflow_dsl.py
+"""
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerSystem,
+    Environment,
+    MB,
+    RequestSpec,
+    parse_workflow,
+    render_table,
+    round_robin,
+)
+
+MODERATION_DSL = """
+workflow_name: moderation
+dataflows:
+  classify:
+    memory_mb: 256
+    compute: base=0.05 per_mb=0.02
+    output: ratio=1.0
+    output_datas:
+      routed:
+        type: SWITCH
+        destination: fast_path | deep_scan
+        selector: round_robin
+  fast_path:
+    memory_mb: 256
+    compute: base=0.02 per_mb=0.01
+    output: fixed=32KB
+    output_datas:
+      verdict:
+        type: NORMAL
+        destination: publish
+  deep_scan:
+    memory_mb: 512
+    compute: base=0.40 per_mb=0.15
+    output: fixed=128KB
+    output_datas:
+      verdict:
+        type: NORMAL
+        destination: publish
+  publish:
+    memory_mb: 128
+    compute: base=0.01
+    output: fixed=8KB
+    output_datas:
+      receipt:
+        type: NORMAL
+        destination: $USER
+entry: classify
+"""
+
+
+def main() -> None:
+    workflow = parse_workflow(MODERATION_DSL)
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster)
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+
+    rows = []
+    for i in range(6):
+        request = RequestSpec(
+            request_id=f"mod-{i}", input_bytes=2 * MB, fanout=1, seed=i
+        )
+        done = system.submit(workflow.name, request)
+        record = env.run(until=done)
+        path = [t.function for t in record.tasks if t.exec_end > 0]
+        route = "deep_scan" if "deep_scan" in path else "fast_path"
+        rows.append([request.request_id, route, f"{record.latency:.3f}"])
+
+    print(
+        render_table(
+            ["request", "routed to", "latency_s"],
+            rows,
+            title="Dynamic-DAG moderation workflow (SWITCH routing)",
+        )
+    )
+    print(
+        "\nEven-seeded requests take the fast path; odd ones pay for the "
+        "deep scan.\nThe data-flow graph is resolved per request — no "
+        "orchestrator state machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

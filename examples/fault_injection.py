@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Demonstrate DataFlower's fault-tolerance model (paper §6.2).
+
+Kills a transcode container mid-execution during a video workflow and
+shows the ReDo recovery: the crashed function re-executes on a fresh
+container, checkpointed pipe connectors resume rather than restart, and
+the request still completes with exactly-once data delivery.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerSystem,
+    Environment,
+    FailureInjector,
+    RequestSpec,
+    render_table,
+    round_robin,
+)
+from repro.apps import get_app
+
+
+def main() -> None:
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster)
+    app = get_app("vid")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+
+    injector = FailureInjector(system)
+    injector.crash_when_busy(workflow.name, "vid_transcode")
+
+    request = RequestSpec(
+        request_id="faulty-1",
+        input_bytes=app.default_input_bytes,
+        fanout=app.default_fanout,
+    )
+    done = system.submit(workflow.name, request)
+    record = env.run(until=done)
+
+    print(f"request completed : {record.completed}")
+    print(f"end-to-end latency: {record.latency:.3f} s")
+    print(f"containers crashed: {len(injector.log.crashes)}")
+    print(f"ReDo executions   : {system.redo_count}")
+    print(f"checkpoint resumes: {system.router.checkpoint_restarts}\n")
+
+    rows = [
+        [task.task_id, task.retries, f"{task.exec_start:.3f}",
+         f"{task.exec_end:.3f}"]
+        for task in record.tasks
+    ]
+    print(
+        render_table(
+            ["task", "retries", "exec_start", "exec_end"],
+            rows,
+            title="Per-task outcome after the injected crash",
+        )
+    )
+
+    # Exactly-once check: no node sink retains any data for this request.
+    leftover = sum(
+        engine.sink.resident_bytes() for engine in system.engines.values()
+    )
+    print(f"\nsink bytes left behind: {leftover:.0f} (exactly-once + cleanup)")
+
+
+if __name__ == "__main__":
+    main()

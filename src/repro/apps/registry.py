@@ -1,0 +1,65 @@
+"""Benchmark registry: the paper's four applications by short name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..workflow.model import Workflow
+from . import imageproc, svd, video, wordcount
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A benchmark: how to build it and its canonical request shape."""
+
+    short_name: str
+    title: str
+    build: Callable[[], Workflow]
+    default_input_bytes: float
+    default_fanout: int
+
+
+_APPS: Dict[str, AppSpec] = {
+    "img": AppSpec(
+        short_name="img",
+        title="ML-based Image Processing",
+        build=imageproc.build,
+        default_input_bytes=imageproc.DEFAULT_INPUT_BYTES,
+        default_fanout=imageproc.DEFAULT_FANOUT,
+    ),
+    "vid": AppSpec(
+        short_name="vid",
+        title="Video-FFmpeg",
+        build=video.build,
+        default_input_bytes=video.DEFAULT_INPUT_BYTES,
+        default_fanout=video.DEFAULT_FANOUT,
+    ),
+    "svd": AppSpec(
+        short_name="svd",
+        title="Singular Value Decomposition",
+        build=svd.build,
+        default_input_bytes=svd.DEFAULT_INPUT_BYTES,
+        default_fanout=svd.DEFAULT_FANOUT,
+    ),
+    "wc": AppSpec(
+        short_name="wc",
+        title="WordCount",
+        build=wordcount.build,
+        default_input_bytes=wordcount.DEFAULT_INPUT_BYTES,
+        default_fanout=wordcount.DEFAULT_FANOUT,
+    ),
+}
+
+#: Paper ordering (Figure 2 and the evaluation tables).
+APP_ORDER: List[str] = ["img", "vid", "svd", "wc"]
+
+
+def get_app(name: str) -> AppSpec:
+    if name not in _APPS:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {APP_ORDER}")
+    return _APPS[name]
+
+
+def all_apps() -> List[AppSpec]:
+    return [_APPS[name] for name in APP_ORDER]

@@ -1,0 +1,55 @@
+"""Singular Value Decomposition (svd): parallel numeric factorization.
+
+Structure (after WISEFUSE, which the paper uses as the benchmark source):
+``split`` partitions the input matrix (FOREACH), ``factorize`` computes a
+partial decomposition per block, ``merge`` combines the factors.
+Communication is ~35.3% of end-to-end latency on a control-flow platform
+(Figure 2(a)).  svd is the benchmark that *fails* under SONIC with >= 20
+closed-loop clients (Figure 11(c)) because SONIC's data passing cannot
+absorb the transfer load of many parallel scaled-out containers.
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import MB
+from ..workflow.model import EdgeKind, Workflow
+from ..workflow.profiles import ComputeModel, OutputModel
+from ..workflow.validation import validate
+
+DEFAULT_INPUT_BYTES = 12 * MB
+DEFAULT_FANOUT = 3
+
+
+def build() -> Workflow:
+    """The svd workflow (split -> factorize xN -> merge)."""
+    workflow = Workflow("svd")
+    workflow.default_fanout = DEFAULT_FANOUT
+
+    workflow.add_function(
+        "svd_split",
+        compute=ComputeModel(base_core_s=0.04, per_input_mb_core_s=0.015),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=1024,
+        first_output_at=0.2,
+    )
+    workflow.add_function(
+        "svd_factorize",
+        compute=ComputeModel(base_core_s=0.30, per_input_mb_core_s=0.180),
+        output=OutputModel(input_ratio=0.5),
+        memory_mb=1024,
+        first_output_at=0.5,
+    )
+    workflow.add_function(
+        "svd_merge",
+        compute=ComputeModel(base_core_s=0.10, per_input_mb_core_s=0.040),
+        output=OutputModel(input_ratio=0.6),
+        memory_mb=1024,
+        first_output_at=0.5,
+    )
+
+    workflow.connect("svd_split", "svd_factorize", EdgeKind.FOREACH, "blocks")
+    workflow.connect("svd_factorize", "svd_merge", EdgeKind.MERGE, "factors")
+    workflow.connect("svd_merge", "$USER", EdgeKind.NORMAL, "result")
+    workflow.entry = "svd_split"
+    validate(workflow)
+    return workflow

@@ -1,0 +1,56 @@
+"""Video-FFmpeg (vid): transcode pipeline with heavy intermediate data.
+
+Structure: ``split`` cuts the uploaded video into chunks (FOREACH),
+``transcode`` re-encodes each chunk in parallel (compute-heavy *and*
+data-heavy), ``merge`` concatenates the encoded chunks and returns the
+result.  Communication is ~49.5% of end-to-end latency on a control-flow
+platform (Figure 2(a)); its large intermediate data makes vid the
+benchmark most sensitive to the pressure-aware scaling ablation
+(Figure 12(b)).
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import MB
+from ..workflow.model import EdgeKind, Workflow
+from ..workflow.profiles import ComputeModel, OutputModel
+from ..workflow.validation import validate
+
+DEFAULT_INPUT_BYTES = 24 * MB
+DEFAULT_FANOUT = 4
+
+
+def build() -> Workflow:
+    """The vid workflow (split -> transcode xN -> merge)."""
+    workflow = Workflow("video")
+    workflow.default_fanout = DEFAULT_FANOUT
+
+    workflow.add_function(
+        "vid_split",
+        compute=ComputeModel(base_core_s=0.05, per_input_mb_core_s=0.010),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=512,
+        first_output_at=0.15,
+    )
+    workflow.add_function(
+        "vid_transcode",
+        compute=ComputeModel(base_core_s=0.10, per_input_mb_core_s=0.120),
+        output=OutputModel(input_ratio=0.5),
+        memory_mb=512,
+        first_output_at=0.2,
+        flu_stages=2,
+    )
+    workflow.add_function(
+        "vid_merge",
+        compute=ComputeModel(base_core_s=0.05, per_input_mb_core_s=0.020),
+        output=OutputModel(input_ratio=0.8),
+        memory_mb=512,
+        first_output_at=0.5,
+    )
+
+    workflow.connect("vid_split", "vid_transcode", EdgeKind.FOREACH, "chunks")
+    workflow.connect("vid_transcode", "vid_merge", EdgeKind.MERGE, "encoded")
+    workflow.connect("vid_merge", "$USER", EdgeKind.NORMAL, "video_out")
+    workflow.entry = "vid_split"
+    validate(workflow)
+    return workflow

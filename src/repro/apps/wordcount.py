@@ -1,0 +1,68 @@
+"""WordCount (wc): the paper's most communication-heavy benchmark.
+
+Structure (Figure 13): ``start`` splits the input text into per-branch
+file chunks (FOREACH), ``count`` computes word counts per chunk, ``merge``
+reduces the counts.  Communication accounts for ~89% of its end-to-end
+latency on a control-flow production platform (Figure 2(a)), which makes
+wc the benchmark where DataFlower's gains are largest — it is also the
+workload used for the fan-out/input-size/scale-up sweeps (Figures 16, 17).
+
+The definition is written in the Figure-7 DSL to exercise the production
+parsing path end to end.
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import MB
+from ..workflow.dsl import parse_workflow
+from ..workflow.model import Workflow
+
+#: Default request input size (Figure 16(a) fixes 4 MB).
+DEFAULT_INPUT_BYTES = 4 * MB
+#: Default FOREACH width (Figure 16(b) fixes 4 branches).
+DEFAULT_FANOUT = 4
+
+_DSL = """
+workflow_name: wordcount
+dataflows:
+  wordcount_start:
+    memory_mb: 256
+    compute: base=0.004 per_mb=0.003
+    output: ratio=1.0
+    first_output_at: 0.2
+    input_datas:
+      source: $USER.input
+    output_datas:
+      filelist:
+        type: FOREACH
+        destination: wordcount_count
+  wordcount_count:
+    memory_mb: 256
+    compute: base=0.002 per_mb=0.006 per_mb2=0.008
+    output: fixed=64KB
+    first_output_at: 0.3
+    input_datas:
+      source: wordcount_start.filelist
+    output_datas:
+      count_result:
+        type: MERGE
+        destination: wordcount_merge
+  wordcount_merge:
+    memory_mb: 256
+    compute: base=0.004 per_mb=0.006
+    output: fixed=96KB
+    input_datas:
+      source: wordcount_count.count_result
+    output_datas:
+      output:
+        type: NORMAL
+        destination: $USER
+entry: wordcount_start
+"""
+
+
+def build() -> Workflow:
+    """The wc workflow (start -> count xN -> merge)."""
+    workflow = parse_workflow(_DSL)
+    workflow.default_fanout = DEFAULT_FANOUT
+    return workflow

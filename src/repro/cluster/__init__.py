@@ -1,0 +1,48 @@
+"""Simulated cluster substrate: nodes, containers, network, disks, storage."""
+
+from .cluster import Cluster, ClusterConfig
+from .container import (
+    BUSY,
+    COLD_STARTING,
+    Container,
+    ContainerPool,
+    DEFAULT_KEEP_ALIVE_S,
+    IDLE,
+    RECYCLED,
+)
+from .disk import LocalDisk
+from .network import Flow, FlowCancelled, NetworkFabric, SharedLink
+from .node import InsufficientResources, Node
+from .spec import ContainerSpec, ScalingPolicy, DEFAULT_SCALING
+from .storage import BackendStore, MemoryChannel
+from .telemetry import GB, IntervalRecorder, KB, MB, TimeIntegral, overlap_seconds
+
+__all__ = [
+    "BUSY",
+    "BackendStore",
+    "COLD_STARTING",
+    "Cluster",
+    "ClusterConfig",
+    "Container",
+    "ContainerPool",
+    "ContainerSpec",
+    "DEFAULT_KEEP_ALIVE_S",
+    "DEFAULT_SCALING",
+    "Flow",
+    "FlowCancelled",
+    "GB",
+    "IDLE",
+    "InsufficientResources",
+    "IntervalRecorder",
+    "KB",
+    "LocalDisk",
+    "MB",
+    "MemoryChannel",
+    "NetworkFabric",
+    "Node",
+    "RECYCLED",
+    "ScalingPolicy",
+    "SharedLink",
+    "TimeIntegral",
+    "overlap_seconds",
+]

@@ -1,0 +1,143 @@
+"""Worker-node model: cores, memory ledger, NIC, memory bus, and local SSD."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .disk import LocalDisk
+from .network import NetworkFabric, SharedLink
+from .telemetry import GB, MB, TimeIntegral
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+class InsufficientResources(Exception):
+    """Raised when a reservation exceeds a node's free cores or memory."""
+
+
+class Node:
+    """A physical machine hosting function containers.
+
+    CPU and memory are *ledgers*: containers reserve fixed shares at start
+    (the cgroup/TC model of the paper) and release them when recycled.
+    Admission is synchronous — schedulers check :meth:`can_fit` and react,
+    which is where scale-out limits and the Ultra-load failures of Figure 18
+    come from.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        fabric: NetworkFabric,
+        name: str,
+        cores: float,
+        memory_gb: float,
+        nic_bps: float,
+        membus_bps: float,
+        disk_read_bps: float,
+        disk_write_bps: float,
+        disk_op_latency_s: float,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.name = name
+        self.cores_total = float(cores)
+        self.memory_total = memory_gb * GB
+        self.cores_free = float(cores)
+        self.memory_free = self.memory_total
+        self.egress: SharedLink = fabric.link(f"{name}.nic.out", nic_bps)
+        self.ingress: SharedLink = fabric.link(f"{name}.nic.in", nic_bps)
+        #: Local-memory channel used for intra-node data passing (Redis-like
+        #: cache, FaaSFlow's local store, DataFlower's local pipe connector).
+        self.membus: SharedLink = fabric.link(f"{name}.membus", membus_bps)
+        self.disk = LocalDisk(
+            env,
+            fabric,
+            f"{name}.ssd",
+            read_bps=disk_read_bps,
+            write_bps=disk_write_bps,
+            op_latency_s=disk_op_latency_s,
+        )
+        #: Integral of container memory resident on this node (GB*s metric).
+        self.memory_usage = TimeIntegral(env)
+        #: Integral of host-side cache bytes (data sink / local stores).
+        self.cache_usage = TimeIntegral(env)
+        self.container_seq = 0
+        #: Container pools hosted here (registered by ContainerPool).
+        self.pools: list = []
+        self.evictions = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def can_fit(self, cores: float, memory_bytes: float) -> bool:
+        return cores <= self.cores_free + 1e-9 and memory_bytes <= self.memory_free + 1e-6
+
+    def reserve(self, cores: float, memory_bytes: float) -> None:
+        if not self.can_fit(cores, memory_bytes):
+            raise InsufficientResources(
+                f"{self.name}: need {cores} cores/{memory_bytes / MB:.0f} MB, "
+                f"free {self.cores_free:.2f} cores/"
+                f"{self.memory_free / MB:.0f} MB"
+            )
+        self.cores_free -= cores
+        self.memory_free -= memory_bytes
+        self.memory_usage.add(memory_bytes)
+
+    def release(self, cores: float, memory_bytes: float) -> None:
+        self.cores_free = min(self.cores_free + cores, self.cores_total)
+        self.memory_free = min(self.memory_free + memory_bytes, self.memory_total)
+        self.memory_usage.add(-memory_bytes)
+
+    # -- idle-container reclamation -----------------------------------------------
+
+    def register_pool(self, pool) -> None:
+        self.pools.append(pool)
+
+    def try_reclaim(self, cores: float, memory_bytes: float,
+                    exclude_pool=None) -> bool:
+        """Evict idle containers from other pools until the request fits.
+
+        Serverless platforms reclaim cold capacity under pressure rather
+        than letting one function's warm pool starve its co-residents.
+        Eviction is LRU over idle containers and respects each pool's
+        recycle guard (e.g. DataFlower's undrained-DLU protection).
+        Returns True when the reservation now fits.
+        """
+        if self.can_fit(cores, memory_bytes):
+            return True
+        candidates = []
+        for pool in self.pools:
+            if pool is exclude_pool:
+                continue
+            for container in pool.containers:
+                if container.state == "idle" and pool.recycle_guard(container):
+                    candidates.append((container.idle_since, pool, container))
+        candidates.sort(key=lambda item: item[0])
+        for _, pool, container in candidates:
+            if self.can_fit(cores, memory_bytes):
+                return True
+            if container.state == "idle":
+                pool.recycle(container)
+                self.evictions += 1
+        return self.can_fit(cores, memory_bytes)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def cores_used(self) -> float:
+        return self.cores_total - self.cores_free
+
+    @property
+    def memory_used(self) -> float:
+        return self.memory_total - self.memory_free
+
+    def next_container_id(self) -> str:
+        self.container_seq += 1
+        return f"{self.name}/c{self.container_seq}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name} cores={self.cores_used:.1f}/{self.cores_total:.0f} "
+            f"mem={self.memory_used / GB:.1f}/{self.memory_total / GB:.0f}GB>"
+        )

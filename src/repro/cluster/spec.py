@@ -1,0 +1,69 @@
+"""Container sizing rules.
+
+Section 9.1 of the paper: "we allocate 0.1 core and 40 Mbps network
+bandwidth for a 128MB-sized container.  The resources are allocated
+proportionally according to the container memory size."  Figure 17 scales
+containers from 128 MB to 640 MB under the same linear rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .telemetry import MB
+
+#: Paper baseline: resources granted per 128 MB of container memory.
+BASE_MEMORY_MB = 128
+BASE_CPU_CORES = 0.1
+BASE_NET_MBPS = 40.0
+
+BITS_PER_BYTE = 8.0
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """Linear memory -> (cpu, bandwidth) proportionality rule."""
+
+    cores_per_base: float = BASE_CPU_CORES
+    mbps_per_base: float = BASE_NET_MBPS
+    base_memory_mb: int = BASE_MEMORY_MB
+
+    def cpu_cores(self, memory_mb: float) -> float:
+        return self.cores_per_base * memory_mb / self.base_memory_mb
+
+    def net_bytes_per_s(self, memory_mb: float) -> float:
+        mbps = self.mbps_per_base * memory_mb / self.base_memory_mb
+        return mbps * 1e6 / BITS_PER_BYTE
+
+
+DEFAULT_SCALING = ScalingPolicy()
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Resource specification of one function container."""
+
+    memory_mb: int = BASE_MEMORY_MB
+    scaling: ScalingPolicy = DEFAULT_SCALING
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    @property
+    def cpu_cores(self) -> float:
+        """Fractional cores pinned to this container (cgroup share)."""
+        return self.scaling.cpu_cores(self.memory_mb)
+
+    @property
+    def net_bytes_per_s(self) -> float:
+        """Per-container bandwidth cap (Linux TC limit in the paper)."""
+        return self.scaling.net_bytes_per_s(self.memory_mb)
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_mb * MB
+
+    def scaled_to(self, memory_mb: int) -> "ContainerSpec":
+        """The same policy at a different memory size (Figure 17 sweeps)."""
+        return ContainerSpec(memory_mb=memory_mb, scaling=self.scaling)

@@ -1,0 +1,71 @@
+"""DataFlower configuration: every mechanism has an explicit knob.
+
+The ablation experiments flip these toggles: Figure 12 disables
+``pressure_aware`` (DataFlower-Non-aware); the Figure 14 cache study
+exercises ``proactive_release`` and ``passive_expire``; fault-tolerance
+tests tune ``checkpoint_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.telemetry import KB
+from ..systems.base import SystemConfig
+
+
+@dataclass(frozen=True)
+class DataFlowerConfig(SystemConfig):
+    """Knobs of the DataFlower scheme (defaults follow the paper)."""
+
+    #: Data-availability triggering is cheap: the per-node engine reacts in
+    #: ~2 ms (Figure 13: merge fires 2 ms after count's data arrives).
+    trigger_mean_s: float = 0.002
+    trigger_jitter_s: float = 0.0005
+
+    #: Loss factor alpha of Equation (1): actual transfer time over ideal
+    #: Size/Bw, determined by the pipe-connector implementation.
+    pressure_alpha: float = 1.2
+    #: Pressure-aware function scaling (§5.2).  Off = DataFlower-Non-aware.
+    pressure_aware: bool = True
+
+    #: Data below this size bypasses the pipe connector and travels by
+    #: direct socket (§7: "for small data under 16K").
+    small_data_bytes: float = 16 * KB
+    socket_latency_s: float = 0.0008
+
+    #: Streaming: the DLU begins pushing once the FLU has produced its
+    #: first chunk instead of waiting for function completion (§3.3.1).
+    streaming: bool = True
+
+    #: Wait-Match Memory lifetime management (§7).
+    proactive_release: bool = True
+    passive_expire: bool = True
+    sink_ttl_s: float = 45.0
+
+    #: Pipe-connector checkpoints for fault tolerance (§6.2): on a data
+    #: plane interrupt, transfer restarts from the last completed fraction.
+    checkpoint_fraction: float = 0.25
+    #: Delay before a failed push/execution is retried.
+    retry_delay_s: float = 0.05
+    #: Maximum ReDo attempts per task before the request is failed.
+    max_retries: int = 3
+
+    #: Synchronizing the per-request data plane to the involved engines.
+    dataplane_sync_s: float = 0.001
+
+    #: Data-availability-based container prewarming (§10, future work):
+    #: boot the destination's container when its input data starts
+    #: flowing, hiding the cold start behind the transfer.
+    prewarm: bool = False
+    max_prewarm: int = 2
+
+    def validate(self) -> None:
+        if not 0 < self.checkpoint_fraction <= 1:
+            raise ValueError("checkpoint_fraction must lie in (0, 1]")
+        if self.pressure_alpha <= 0:
+            raise ValueError("pressure_alpha must be positive")
+        if self.sink_ttl_s <= 0:
+            raise ValueError("sink_ttl_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")

@@ -1,0 +1,93 @@
+"""Per-request data plane: routing tables and data-availability tracking.
+
+When a workflow is invoked, the load balancer's placement plus the task
+graph yield a routing table (Figure 8): for every data edge, which node's
+sink receives the datum and which task it wakes.  Each node's engine only
+needs the slice touching its own functions; here one object tracks the
+whole request and the engines query it — semantically equivalent to the
+paper's synchronized per-node subgraphs, with the synchronization latency
+modelled by ``DataFlowerConfig.dataplane_sync_s``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..workflow.instance import Task, TaskEdge, TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+    from ..systems.base import Deployment
+
+#: The sink key of the user's input datum for the entry task.
+USER_INPUT = "$input"
+
+
+class RequestDataPlane:
+    """Routing and readiness state for one in-flight request."""
+
+    def __init__(self, graph: TaskGraph, deployment: "Deployment") -> None:
+        self.graph = graph
+        self.deployment = deployment
+        self.request_id = graph.request.request_id
+        #: Inputs still missing before each task can trigger.
+        self._waiting: Dict[str, int] = {}
+        #: Edge keys already delivered (exactly-once accounting).
+        self.delivered: Set[Tuple] = set()
+        #: $USER outputs not yet received by the gateway.
+        self.user_outputs_pending = 0
+        for task in graph.tasks:
+            waiting = len(task.inputs)
+            if task.is_entry:
+                waiting += 1  # the user input datum
+            self._waiting[task.task_id] = waiting
+            for edge in task.outputs:
+                if edge.dst is None:
+                    self.user_outputs_pending += 1
+
+    # -- routing -----------------------------------------------------------------
+
+    def node_of_task(self, task: Task) -> "Node":
+        return self.deployment.node_of(task.function)
+
+    def input_key(self, task: Task, edge: TaskEdge) -> Tuple[str, str, str]:
+        """Sink key under which ``edge``'s datum waits for ``task``."""
+        return (self.request_id, task.task_id, edge.dataname)
+
+    def user_input_key(self, task: Task) -> Tuple[str, str, str]:
+        return (self.request_id, task.task_id, USER_INPUT)
+
+    # -- readiness ----------------------------------------------------------------
+
+    def waiting_count(self, task: Task) -> int:
+        return self._waiting[task.task_id]
+
+    def mark_arrived(self, task: Task, key: Tuple) -> bool:
+        """Record a datum arrival; True when the task just became ready."""
+        if key in self.delivered:
+            return False
+        self.delivered.add(key)
+        remaining = self._waiting[task.task_id] - 1
+        if remaining < 0:
+            raise RuntimeError(
+                f"task {task.task_id} received more inputs than declared"
+            )
+        self._waiting[task.task_id] = remaining
+        return remaining == 0
+
+    def mark_user_output(self, edge: TaskEdge) -> bool:
+        """Record a $USER datum arrival; True if it was not a duplicate."""
+        key = ("$USER",) + edge.key
+        if key in self.delivered:
+            return False
+        self.delivered.add(key)
+        self.user_outputs_pending -= 1
+        return True
+
+    def involved_nodes(self) -> List["Node"]:
+        """Every node hosting at least one task of this request."""
+        seen: Dict[str, "Node"] = {}
+        for task in self.graph.tasks:
+            node = self.node_of_task(task)
+            seen[node.name] = node
+        return list(seen.values())

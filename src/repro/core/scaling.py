@@ -1,0 +1,57 @@
+"""Pressure-aware function scaling (paper §5.2, Equation 1).
+
+::
+
+    Pressure(FLU_f) = alpha * Size / Bw  -  T_FLU
+
+``Size/Bw`` is the ideal time to drain the FLU's output through the
+container's bandwidth cap; ``alpha`` is the connector's loss factor;
+``T_FLU`` is the FLU execution time.  Non-positive pressure means the DLU
+keeps up and dispatch continues on idle FLUs.  Positive pressure means
+backpressure: the DLU sends a *Callstack blocking* signal that blocks the
+FLU for exactly ``Pressure`` seconds — capping the FLU production rate at
+the DLU drain rate — while the engine scales out containers in the normal
+serverless manner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def pressure(size_bytes: float, bandwidth_bps: float, t_flu_s: float,
+             alpha: float) -> float:
+    """Equation (1).  Positive values indicate backpressure."""
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if size_bytes < 0 or t_flu_s < 0:
+        raise ValueError("size and T_FLU must be non-negative")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return alpha * size_bytes / bandwidth_bps - t_flu_s
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """What the DLU tells the engine after one FLU invocation."""
+
+    pressure_s: float
+
+    @property
+    def backpressure(self) -> bool:
+        return self.pressure_s > 0
+
+    @property
+    def block_s(self) -> float:
+        """How long the Callstack blocking signal holds the FLU."""
+        return max(self.pressure_s, 0.0)
+
+
+def evaluate(size_bytes: float, bandwidth_bps: float, t_flu_s: float,
+             alpha: float, enabled: bool = True) -> ScalingDecision:
+    """The DLU-side decision; ``enabled=False`` is DataFlower-Non-aware."""
+    if not enabled:
+        return ScalingDecision(pressure_s=0.0)
+    return ScalingDecision(
+        pressure_s=pressure(size_bytes, bandwidth_bps, t_flu_s, alpha)
+    )

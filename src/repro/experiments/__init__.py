@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig11      # reproduce Figure 11
+    python -m repro.experiments all --scale 0.3
+"""
+
+from .registry import ExperimentResult, experiment_ids, run_experiment, subsample
+
+__all__ = ["ExperimentResult", "experiment_ids", "run_experiment", "subsample"]

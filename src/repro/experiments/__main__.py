@@ -1,0 +1,63 @@
+"""CLI for regenerating the paper's tables and figures."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import experiment_ids, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate DataFlower paper figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id ({', '.join(experiment_ids())}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink sweep grids and durations (0 < scale <= 1)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each result table as <csv-dir>/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for experiment_id in experiment_ids():
+            print(f"  {experiment_id}")
+        return 0
+
+    targets = (
+        experiment_ids() if args.experiment == "all" else [args.experiment]
+    )
+    for experiment_id in targets:
+        started = time.time()
+        results = run_experiment(experiment_id, scale=args.scale)
+        for result in results:
+            print(result.render())
+            print()
+            if args.csv_dir:
+                import pathlib
+
+                directory = pathlib.Path(args.csv_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"{result.experiment_id}.csv"
+                path.write_text(result.to_csv())
+                print(f"[wrote {path}]")
+        print(f"[{experiment_id} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

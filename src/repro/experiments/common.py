@@ -1,0 +1,151 @@
+"""Shared experiment plumbing: canonical setups and sweep helpers.
+
+Every experiment builds its world through :func:`make_setup` so that all
+systems see identical clusters, placements, and request streams.  The
+``scale`` parameter shrinks run durations so the pytest-benchmark harness
+stays tractable; experiment *shape* is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from ..apps import get_app
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..core.config import DataFlowerConfig
+from ..core.system import DataFlowerSystem
+from ..loadgen.runner import (
+    RunResult,
+    default_request_factory,
+    run_closed_loop,
+    run_open_loop,
+)
+from ..loadgen.arrivals import RateSegment, constant
+from ..sim.environment import Environment
+from ..systems.base import SystemConfig, WorkflowSystem
+from ..systems.faasflow import FaasFlowConfig, FaasFlowSystem
+from ..systems.placement import round_robin, single_node
+from ..systems.production import ProductionConfig, ProductionSystem
+from ..systems.sonic import SonicConfig, SonicSystem
+from ..workflow.instance import RequestSpec
+
+#: The three systems compared throughout §9.
+COMPARED_SYSTEMS = ["dataflower", "faasflow", "sonic"]
+
+_SYSTEM_CLASSES: Dict[str, Type[WorkflowSystem]] = {
+    "dataflower": DataFlowerSystem,
+    "faasflow": FaasFlowSystem,
+    "sonic": SonicSystem,
+    "production": ProductionSystem,
+}
+
+_CONFIG_CLASSES = {
+    "dataflower": DataFlowerConfig,
+    "faasflow": FaasFlowConfig,
+    "sonic": SonicConfig,
+    "production": ProductionConfig,
+}
+
+
+@dataclass
+class Setup:
+    """One freshly built world: env + cluster + system + app."""
+
+    env: Environment
+    cluster: Cluster
+    system: WorkflowSystem
+    app_name: str
+    workflow_names: List[str] = field(default_factory=list)
+
+    def request_factory(
+        self,
+        workflow_name: Optional[str] = None,
+        input_bytes: Optional[float] = None,
+        fanout: Optional[int] = None,
+    ):
+        app = get_app(self.app_name)
+        return default_request_factory(
+            self.system,
+            workflow_name or self.workflow_names[0],
+            input_bytes if input_bytes is not None else app.default_input_bytes,
+            fanout if fanout is not None else app.default_fanout,
+        )
+
+
+def make_setup(
+    system_name: str,
+    app_name: str,
+    cluster_config: ClusterConfig = ClusterConfig(),
+    system_overrides: Optional[dict] = None,
+    placement: str = "round_robin",
+    apps: Optional[Sequence[str]] = None,
+) -> Setup:
+    """Build a fresh environment with one or more deployed benchmarks."""
+    env = Environment()
+    cluster = Cluster(env, cluster_config)
+    config_cls = _CONFIG_CLASSES[system_name]
+    config = config_cls(**(system_overrides or {}))
+    system = _SYSTEM_CLASSES[system_name](env, cluster, config)
+    place = single_node if placement == "single_node" else round_robin
+
+    setup = Setup(env=env, cluster=cluster, system=system, app_name=app_name)
+    for name in apps or [app_name]:
+        workflow = get_app(name).build()
+        system.deploy(workflow, place(workflow, cluster.workers))
+        setup.workflow_names.append(workflow.name)
+    return setup
+
+
+def warm_up(setup: Setup, workflow_name: Optional[str] = None,
+            fanout: Optional[int] = None, input_bytes: Optional[float] = None) -> None:
+    """Run one request to completion so pools are warm (cold starts out)."""
+    app = get_app(setup.app_name)
+    name = workflow_name or setup.workflow_names[0]
+    request = RequestSpec(
+        request_id=setup.system.next_request_id(name),
+        input_bytes=input_bytes if input_bytes is not None else app.default_input_bytes,
+        fanout=fanout or app.default_fanout,
+    )
+    done = setup.system.submit(name, request)
+    setup.env.run(until=done)
+    # Forget the warm-up request in the record stream.
+    setup.system.records.clear()
+
+
+def closed_loop_run(
+    system_name: str,
+    app_name: str,
+    clients: int,
+    duration_s: float,
+    timeout_s: float = 60.0,
+    input_bytes: Optional[float] = None,
+    fanout: Optional[int] = None,
+    system_overrides: Optional[dict] = None,
+    cluster_config: ClusterConfig = ClusterConfig(),
+) -> RunResult:
+    setup = make_setup(system_name, app_name, cluster_config, system_overrides)
+    factory = setup.request_factory(input_bytes=input_bytes, fanout=fanout)
+    return run_closed_loop(
+        setup.system, setup.workflow_names[0], factory, clients, duration_s,
+        timeout_s=timeout_s,
+    )
+
+
+def open_loop_run(
+    system_name: str,
+    app_name: str,
+    schedule: Sequence[RateSegment],
+    timeout_s: float = 60.0,
+    input_bytes: Optional[float] = None,
+    fanout: Optional[int] = None,
+    system_overrides: Optional[dict] = None,
+    cluster_config: ClusterConfig = ClusterConfig(),
+    poisson: bool = False,
+) -> RunResult:
+    setup = make_setup(system_name, app_name, cluster_config, system_overrides)
+    factory = setup.request_factory(input_bytes=input_bytes, fanout=fanout)
+    return run_open_loop(
+        setup.system, setup.workflow_names[0], factory, schedule,
+        timeout_s=timeout_s, poisson=poisson,
+    )

@@ -1,0 +1,71 @@
+"""Figure 10: E2E latency and memory usage under asynchronous invocations.
+
+Open-loop rpm sweeps per benchmark; for each offered load and system the
+experiment reports mean/p99 latency and the container-memory integral
+(GB*s) per request.  Paper headline: DataFlower cuts p99 latency by
+5.7–35.4% vs FaaSFlow and 8.9–29.2% vs SONIC, and container memory by
+19.1–69.3% and 7.4–64.1% respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..loadgen.arrivals import constant
+from .common import COMPARED_SYSTEMS, open_loop_run
+from .registry import ExperimentResult, subsample
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Async latency and memory vs offered load"
+
+#: Offered-load grids from the paper's x-axes (requests per minute).
+RPM_GRIDS: Dict[str, List[int]] = {
+    "img": [10, 20, 40, 60, 80, 100, 120],
+    "vid": [4, 8, 12, 16, 20, 40, 80],
+    "svd": [10, 20, 40, 60, 80, 100],
+    "wc": [10, 20, 40, 80, 160, 320, 640],
+}
+
+#: Enough runtime for meaningful percentiles without hour-long sims.
+DURATION_S = 60.0
+
+
+def run(scale: float = 1.0) -> List[ExperimentResult]:
+    duration = max(20.0, DURATION_S * scale)
+    rows = []
+    for app_name, grid in RPM_GRIDS.items():
+        for rpm in subsample(grid, scale):
+            for system_name in COMPARED_SYSTEMS:
+                result = open_loop_run(
+                    system_name, app_name, constant(rpm, duration)
+                )
+                if result.completed:
+                    latency = result.latency()
+                    rows.append(
+                        [
+                            app_name,
+                            rpm,
+                            system_name,
+                            latency.mean_s,
+                            latency.p99_s,
+                            result.usage.memory_gbs_per_request,
+                            len(result.failed),
+                        ]
+                    )
+                else:
+                    rows.append(
+                        [app_name, rpm, system_name, float("nan"),
+                         float("nan"), float("nan"), len(result.failed)]
+                    )
+    return [
+        ExperimentResult(
+            EXPERIMENT_ID,
+            TITLE,
+            ["bench", "rpm", "system", "mean_s", "p99_s", "mem_gbs_per_req", "failed"],
+            rows,
+            notes=[
+                "paper: DataFlower p99 -5.7..-35.4% vs FaaSFlow, -8.9..-29.2% vs SONIC",
+                "paper: memory GB*s -19.1..-69.3% vs FaaSFlow, -7.4..-64.1% vs SONIC",
+            ],
+        )
+    ]

@@ -1,0 +1,70 @@
+"""Figure 11: peak throughput under synchronous (closed-loop) invocations.
+
+Client-count sweeps per benchmark.  Paper headline: DataFlower raises peak
+throughput 1.03–3.8x over FaaSFlow and 1.29–2.42x over SONIC; throughput
+saturates when CPU or network becomes the bottleneck; svd collapses under
+SONIC at high client counts (its held source sandboxes starve consumers —
+see EXPERIMENTS.md for how our substrate reproduces that failure mode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import COMPARED_SYSTEMS, closed_loop_run
+from .registry import ExperimentResult, subsample
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Closed-loop peak throughput vs number of clients"
+
+#: Client grids from the paper's x-axes.
+CLIENT_GRIDS: Dict[str, List[int]] = {
+    "img": [1, 2, 4, 6, 8, 10, 11],
+    "vid": [1, 2, 4, 8, 16, 24, 32, 36],
+    "svd": [1, 2, 4, 8, 12, 16, 20, 24],
+    "wc": [1, 2, 4, 8, 16, 20, 24],
+}
+
+DURATION_S = 45.0
+
+
+def run(scale: float = 1.0) -> List[ExperimentResult]:
+    duration = max(15.0, DURATION_S * scale)
+    rows = []
+    peaks: Dict[tuple, float] = {}
+    for app_name, grid in CLIENT_GRIDS.items():
+        for clients in subsample(grid, scale):
+            for system_name in COMPARED_SYSTEMS:
+                result = closed_loop_run(
+                    system_name, app_name, clients, duration
+                )
+                throughput = result.throughput_rpm()
+                key = (app_name, system_name)
+                peaks[key] = max(peaks.get(key, 0.0), throughput)
+                rows.append(
+                    [app_name, clients, system_name, throughput, len(result.failed)]
+                )
+
+    ratio_rows = []
+    for app_name in CLIENT_GRIDS:
+        dataflower = peaks.get((app_name, "dataflower"), 0.0)
+        for baseline in ["faasflow", "sonic"]:
+            base = peaks.get((app_name, baseline), 0.0)
+            ratio = dataflower / base if base > 0 else float("nan")
+            ratio_rows.append([app_name, baseline, base, dataflower, ratio])
+
+    return [
+        ExperimentResult(
+            EXPERIMENT_ID,
+            TITLE,
+            ["bench", "clients", "system", "throughput_rpm", "failed"],
+            rows,
+        ),
+        ExperimentResult(
+            "fig11-peaks",
+            "Peak throughput ratios (DataFlower over baseline)",
+            ["bench", "baseline", "baseline_peak", "dataflower_peak", "ratio"],
+            ratio_rows,
+            notes=["paper: 1.03-3.8x vs FaaSFlow, 1.29-2.42x vs SONIC"],
+        ),
+    ]

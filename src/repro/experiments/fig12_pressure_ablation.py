@@ -1,0 +1,71 @@
+"""Figure 12: effectiveness of pressure-aware function scaling.
+
+DataFlower vs DataFlower-Non-aware (pressure scaling disabled) on
+closed-loop client sweeps.  Paper observations: the two are nearly equal
+on img (small intermediate data — the DLU never falls behind); for the
+data-intensive vid/svd/wc the Non-aware variant's throughput is capped by
+DLU queuing; platform-level scale-out partially masks the gap at some
+client counts (the paper notes this for vid at 16–32 clients).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import closed_loop_run
+from .fig11_throughput import CLIENT_GRIDS, DURATION_S
+from .registry import ExperimentResult, subsample
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Pressure-aware scaling ablation (DataFlower vs Non-aware)"
+
+VARIANTS = {
+    "dataflower": {},
+    "non-aware": {"pressure_aware": False},
+}
+
+
+def run(scale: float = 1.0) -> List[ExperimentResult]:
+    duration = max(15.0, DURATION_S * scale)
+    rows = []
+    peaks: Dict[tuple, float] = {}
+    for app_name, grid in CLIENT_GRIDS.items():
+        for clients in subsample(grid, scale):
+            for variant, overrides in VARIANTS.items():
+                result = closed_loop_run(
+                    "dataflower", app_name, clients, duration,
+                    system_overrides=overrides,
+                )
+                throughput = result.throughput_rpm()
+                peaks[(app_name, variant)] = max(
+                    peaks.get((app_name, variant), 0.0), throughput
+                )
+                rows.append(
+                    [app_name, clients, variant, throughput, len(result.failed)]
+                )
+
+    summary = [
+        [
+            app_name,
+            peaks[(app_name, "dataflower")],
+            peaks[(app_name, "non-aware")],
+            peaks[(app_name, "dataflower")]
+            / max(peaks[(app_name, "non-aware")], 1e-9),
+        ]
+        for app_name in CLIENT_GRIDS
+    ]
+    return [
+        ExperimentResult(
+            EXPERIMENT_ID,
+            TITLE,
+            ["bench", "clients", "variant", "throughput_rpm", "failed"],
+            rows,
+        ),
+        ExperimentResult(
+            "fig12-peaks",
+            "Peak throughput: pressure-aware gain",
+            ["bench", "aware_peak", "non_aware_peak", "gain"],
+            summary,
+            notes=["paper: img nearly equal; vid/svd/wc constrained without it"],
+        ),
+    ]

@@ -1,0 +1,92 @@
+"""Experiment registry: every paper figure, one runnable entry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..metrics.report import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure/table: rows ready to print and compare."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            render_table(self.headers, self.rows,
+                         title=f"{self.experiment_id}: {self.title}")
+        ]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row first), for downstream plotting."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+
+#: experiment id -> module path (module must expose ``run(scale=1.0)``).
+_MODULES: Dict[str, str] = {
+    "fig2": "repro.experiments.fig02_characterization",
+    "fig10": "repro.experiments.fig10_latency_memory",
+    "fig11": "repro.experiments.fig11_throughput",
+    "fig12": "repro.experiments.fig12_pressure_ablation",
+    "fig13": "repro.experiments.fig13_trigger_timeline",
+    "fig14": "repro.experiments.fig14_cache_usage",
+    "fig15": "repro.experiments.fig15_bursty",
+    "fig16": "repro.experiments.fig16_adaptiveness",
+    "fig17": "repro.experiments.fig17_scaleup",
+    "fig18": "repro.experiments.fig18_colocation",
+    "fig19": "repro.experiments.fig19_stateful",
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(_MODULES)
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0) -> List[ExperimentResult]:
+    """Run one experiment; returns its result tables.
+
+    ``scale`` in (0, 1] shrinks durations and sweep grids proportionally
+    (used by the pytest-benchmark harness); 1.0 is the full figure.
+    """
+    if experiment_id not in _MODULES:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {experiment_ids()}"
+        )
+    if not 0 < scale <= 1:
+        raise ValueError("scale must lie in (0, 1]")
+    module = importlib.import_module(_MODULES[experiment_id])
+    results = module.run(scale=scale)
+    if isinstance(results, ExperimentResult):
+        results = [results]
+    return results
+
+
+def subsample(grid: Sequence, scale: float, minimum: int = 2) -> List:
+    """Pick a scale-proportional subset of a sweep grid (ends included)."""
+    grid = list(grid)
+    if scale >= 1.0 or len(grid) <= minimum:
+        return grid
+    count = max(minimum, round(len(grid) * scale))
+    if count >= len(grid):
+        return grid
+    step = (len(grid) - 1) / (count - 1)
+    indices = sorted({round(i * step) for i in range(count)})
+    return [grid[i] for i in indices]

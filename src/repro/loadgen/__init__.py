@@ -1,0 +1,23 @@
+"""Load generation: open-loop schedules, closed-loop clients, run harness."""
+
+from .arrivals import RateSegment, arrival_times, burst, constant, total_duration
+from .runner import (
+    DEFAULT_TIMEOUT_S,
+    RunResult,
+    default_request_factory,
+    run_closed_loop,
+    run_open_loop,
+)
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "RateSegment",
+    "RunResult",
+    "arrival_times",
+    "burst",
+    "constant",
+    "default_request_factory",
+    "run_closed_loop",
+    "run_open_loop",
+    "total_duration",
+]

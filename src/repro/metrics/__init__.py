@@ -1,0 +1,23 @@
+"""Measurement: latency records, usage integrals, statistics, reporting."""
+
+from .latency import LatencySummary, RequestRecord, TaskRecord
+from .report import format_cell, render_table
+from .stats import cdf_at, cdf_points, mean, p50, p99, percentile, stddev
+from .usage import UsageSummary, collect_usage
+
+__all__ = [
+    "LatencySummary",
+    "RequestRecord",
+    "TaskRecord",
+    "UsageSummary",
+    "cdf_at",
+    "cdf_points",
+    "collect_usage",
+    "format_cell",
+    "mean",
+    "p50",
+    "p99",
+    "percentile",
+    "render_table",
+    "stddev",
+]

@@ -1,0 +1,103 @@
+"""Request and task records: the raw material of every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .stats import mean, p99, percentile, stddev
+
+
+@dataclass
+class TaskRecord:
+    """Timing of one function invocation within one request.
+
+    Fields follow the paper's Figure 13 timeline semantics:
+
+    ``ready_time``
+        When the task *could* run (all control/data dependencies met).
+    ``trigger_time``
+        When the scheduler actually dispatched it — the gap to
+        ``ready_time`` is the triggering overhead of Figure 2(c).
+    ``exec_start`` / ``exec_end``
+        The container-resident window (includes Get/compute/Put for
+        control-flow systems; fetch+compute for DataFlower).
+    ``get_s`` / ``compute_s`` / ``put_s``
+        The Figure 2(a) breakdown components.
+    """
+
+    task_id: str
+    function: str
+    node: str = ""
+    ready_time: float = 0.0
+    trigger_time: float = 0.0
+    exec_start: float = 0.0
+    exec_end: float = 0.0
+    get_s: float = 0.0
+    compute_s: float = 0.0
+    put_s: float = 0.0
+    cold_start: bool = False
+    retries: int = 0
+
+    @property
+    def trigger_overhead(self) -> float:
+        return max(self.trigger_time - self.ready_time, 0.0)
+
+    @property
+    def comm_s(self) -> float:
+        return self.get_s + self.put_s
+
+
+@dataclass
+class RequestRecord:
+    """Timing and outcome of one workflow invocation."""
+
+    request_id: str
+    workflow: str
+    submit_time: float
+    end_time: Optional[float] = None
+    failed: bool = False
+    error: Optional[str] = None
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None and not self.failed
+
+    @property
+    def latency(self) -> float:
+        if self.end_time is None:
+            raise ValueError(f"request {self.request_id} has not completed")
+        return self.end_time - self.submit_time
+
+    def task(self, task_id: str) -> TaskRecord:
+        for record in self.tasks:
+            if record.task_id == task_id:
+                return record
+        raise KeyError(task_id)
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate latency statistics over completed requests."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    sigma_s: float
+    max_s: float
+
+    @classmethod
+    def from_records(cls, records: List[RequestRecord]) -> "LatencySummary":
+        latencies = [r.latency for r in records if r.completed]
+        if not latencies:
+            raise ValueError("no completed requests to summarize")
+        return cls(
+            count=len(latencies),
+            mean_s=mean(latencies),
+            p50_s=percentile(latencies, 50),
+            p99_s=p99(latencies),
+            sigma_s=stddev(latencies),
+            max_s=max(latencies),
+        )

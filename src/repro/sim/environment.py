@@ -1,0 +1,139 @@
+"""The simulation environment: clock, scheduler, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, NORMAL_PRIORITY, Timeout
+from .process import Process, ProcessGenerator
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Time is a float in *seconds*.  Events are processed in (time, priority,
+    insertion-order) order, which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_stack: List[Process] = []
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL_PRIORITY
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:  # type: ignore[union-attr]
+            callback(event)
+        event._mark_processed()
+        if event._exception is not None and not event.defused:
+            raise event._exception
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        has been processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if not self._queue:
+                if stop_event is not None and not stop_event.triggered:
+                    raise RuntimeError(
+                        "run(until=event) exhausted the schedule before the "
+                        "event fired"
+                    )
+                if stop_time is not None:
+                    self._now = stop_time
+                return None
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+    # -- active-process bookkeeping (used by Process.interrupt) ---------------
+
+    def _push_active(self, process: Process) -> None:
+        self._active_stack.append(process)
+
+    def _pop_active(self) -> None:
+        self._active_stack.pop()
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being advanced, if any."""
+        return self._active_stack[-1] if self._active_stack else None
+
+    def active_process_target(self) -> Optional[Event]:
+        active = self.active_process
+        return active.target if active is not None else None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now:.6f} pending={len(self._queue)}>"

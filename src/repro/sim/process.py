@@ -1,0 +1,139 @@
+"""Simulation processes: generator coroutines driven by the event loop."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, URGENT_PRIORITY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator so that it advances whenever a yielded event fires.
+
+    A :class:`Process` is itself an event that triggers when the generator
+    returns (value = return value) or raises (failure), so processes can wait
+    for each other simply by yielding the process object.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the generator off via an immediately-processed urgent event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._value = None
+        init._state = "triggered"
+        env.schedule(init, priority=URGENT_PRIORITY)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a process
+        waiting on an event detaches it from that event (the event may still
+        fire for other waiters).
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._state = "triggered"
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        self.env.schedule(interrupt_event, priority=URGENT_PRIORITY)
+
+    # -- internal -----------------------------------------------------------
+
+    def _detach_from_target(self) -> None:
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished before the interrupt was delivered
+        self._detach_from_target()
+        self._advance(event)
+
+    def _resume(self, event: Event) -> None:
+        self._advance(event)
+
+    def _advance(self, event: Event) -> None:
+        """Send/throw ``event``'s outcome into the generator and re-arm."""
+        env = self.env
+        env._push_active(self)
+        try:
+            while True:
+                try:
+                    if event._exception is not None:
+                        event.defused = True
+                        next_event = self._generator.throw(event._exception)
+                    else:
+                        next_event = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(exc)
+                    return
+
+                if not isinstance(next_event, Event):
+                    error = RuntimeError(
+                        f"process yielded a non-event: {next_event!r}"
+                    )
+                    self._target = None
+                    self.fail(error)
+                    return
+                if next_event.env is not env:
+                    error = RuntimeError("yielded event from another environment")
+                    self._target = None
+                    self.fail(error)
+                    return
+
+                self._target = next_event
+                if next_event.processed:
+                    # Already done: loop immediately with its outcome.
+                    event = next_event
+                    continue
+                next_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+                return
+        finally:
+            env._pop_active()
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", "process")
+        return f"<Process {name} alive={self.is_alive}>"

@@ -1,0 +1,43 @@
+"""Execution systems: control-flow baselines and the shared interface."""
+
+from .base import (
+    Deployment,
+    FunctionDispatcher,
+    RequestState,
+    SystemConfig,
+    WorkflowSystem,
+)
+from .controlflow import ControlFlowConfig, ControlFlowSystem
+from .faasflow import FaasFlowConfig, FaasFlowSystem
+from .placement import (
+    POLICIES,
+    get_policy,
+    hashed,
+    offset_round_robin,
+    round_robin,
+    single_node,
+)
+from .production import ProductionConfig, ProductionSystem
+from .sonic import SonicConfig, SonicSystem
+
+__all__ = [
+    "ControlFlowConfig",
+    "ControlFlowSystem",
+    "Deployment",
+    "FaasFlowConfig",
+    "FaasFlowSystem",
+    "FunctionDispatcher",
+    "POLICIES",
+    "ProductionConfig",
+    "ProductionSystem",
+    "RequestState",
+    "SonicConfig",
+    "SonicSystem",
+    "SystemConfig",
+    "WorkflowSystem",
+    "get_policy",
+    "hashed",
+    "offset_round_robin",
+    "round_robin",
+    "single_node",
+]

@@ -1,0 +1,75 @@
+"""Function-to-node mapping policies (the paper's load-balancer interface).
+
+DataFlower "does not rely on a specific load balancer [and] exposes an
+interface to the upper load balancer for customized function deployment
+policies" (§6.1).  The same interface drives the baselines so placement is
+never a confound: experiments hand the *same* placement to every system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..cluster.node import Node
+from ..workflow.model import Workflow
+
+PlacementPolicy = Callable[[Workflow, Sequence[Node]], Dict[str, Node]]
+
+
+def round_robin(workflow: Workflow, workers: Sequence[Node]) -> Dict[str, Node]:
+    """Spread functions across workers in topological order.
+
+    This is the paper's "default function mapping method": deterministic,
+    workload-agnostic, and it exercises cross-node data edges.
+    """
+    if not workers:
+        raise ValueError("no workers to place onto")
+    order = workflow.topological_order()
+    return {name: workers[i % len(workers)] for i, name in enumerate(order)}
+
+
+def single_node(workflow: Workflow, workers: Sequence[Node]) -> Dict[str, Node]:
+    """Force every function onto the first worker (Figure 13 setup)."""
+    if not workers:
+        raise ValueError("no workers to place onto")
+    return {name: workers[0] for name in workflow.functions}
+
+
+def hashed(workflow: Workflow, workers: Sequence[Node]) -> Dict[str, Node]:
+    """Stable hash placement: independent of declaration order."""
+    if not workers:
+        raise ValueError("no workers to place onto")
+    placement = {}
+    for name in workflow.functions:
+        digest = sum(ord(ch) * (i + 1) for i, ch in enumerate(name))
+        placement[name] = workers[digest % len(workers)]
+    return placement
+
+
+def offset_round_robin(offset: int) -> PlacementPolicy:
+    """Round-robin starting at ``offset`` — used to spread co-located
+    workflows across different workers (Figure 18)."""
+
+    def policy(workflow: Workflow, workers: Sequence[Node]) -> Dict[str, Node]:
+        if not workers:
+            raise ValueError("no workers to place onto")
+        order = workflow.topological_order()
+        return {
+            name: workers[(i + offset) % len(workers)]
+            for i, name in enumerate(order)
+        }
+
+    return policy
+
+
+POLICIES: Dict[str, PlacementPolicy] = {
+    "round_robin": round_robin,
+    "single_node": single_node,
+    "hashed": hashed,
+}
+
+
+def get_policy(name: str) -> PlacementPolicy:
+    if name not in POLICIES:
+        raise KeyError(f"unknown placement policy {name!r}; choose from {list(POLICIES)}")
+    return POLICIES[name]

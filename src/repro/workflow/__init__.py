@@ -1,0 +1,30 @@
+"""Workflow model: DAG definition, cost profiles, DSL, and instantiation."""
+
+from .dsl import DslError, parse_size, parse_workflow
+from .instance import RequestSpec, Task, TaskEdge, TaskGraph
+from .model import DataEdge, EdgeKind, FunctionDef, USER, Workflow
+from .profiles import ComputeModel, FunctionProfile, OutputModel
+from .validation import WorkflowValidationError, validate
+from .visualize import render_task_graph, render_workflow
+
+__all__ = [
+    "ComputeModel",
+    "DataEdge",
+    "DslError",
+    "EdgeKind",
+    "FunctionDef",
+    "FunctionProfile",
+    "OutputModel",
+    "RequestSpec",
+    "Task",
+    "TaskEdge",
+    "TaskGraph",
+    "USER",
+    "Workflow",
+    "WorkflowValidationError",
+    "parse_size",
+    "parse_workflow",
+    "render_task_graph",
+    "render_workflow",
+    "validate",
+]

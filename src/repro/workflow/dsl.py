@@ -1,0 +1,264 @@
+"""The declarative data-flow definition language (paper Figure 7).
+
+The paper expresses a workflow by declaring, per FLU, the source of its
+inputs and the destination of its outputs.  This module parses a plain-text
+indentation-based rendition of that pseudocode into a
+:class:`~repro.workflow.model.Workflow`::
+
+    workflow_name: wordcount
+    dataflows:
+      wordcount_start:
+        memory_mb: 256
+        compute: base=0.012 per_mb=0.004
+        output: ratio=1.02
+        input_datas:
+          source: $USER.input
+        output_datas:
+          filelist:
+            type: FOREACH
+            destination: wordcount_count
+      wordcount_count:
+        compute: base=0.004 per_mb=0.030
+        output: fixed=64KB
+        output_datas:
+          count_result:
+            type: MERGE
+            destination: wordcount_merge
+      wordcount_merge:
+        compute: base=0.006 per_mb=0.002
+        output: fixed=96KB
+        output_datas:
+          output:
+            type: NORMAL
+            destination: $USER
+
+SWITCH edges list candidates separated by ``|`` and name a built-in
+``selector`` (``round_robin``, ``hash``, ``first``); custom selectors can
+be attached programmatically after parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..cluster.telemetry import GB, KB, MB
+from .model import EdgeKind, USER, Workflow
+from .profiles import ComputeModel, OutputModel
+from .validation import validate
+
+Tree = Dict[str, Union[str, "Tree"]]
+
+
+class DslError(ValueError):
+    """A syntax or semantic problem in a workflow definition text."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        location = f" (line {line_no})" if line_no is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line_no = line_no
+
+
+BUILTIN_SELECTORS: Dict[str, Callable[[int, int], int]] = {
+    # Deterministic in (request seed, branch index); count is bound later.
+}
+
+
+def _make_selector(name: str, candidate_count: int) -> Callable[[int, int], int]:
+    if name == "round_robin":
+        return lambda seed, branch: (seed + branch) % candidate_count
+    if name == "hash":
+        return lambda seed, branch: hash((seed, branch)) % candidate_count
+    if name == "first":
+        return lambda _seed, _branch: 0
+    raise DslError(
+        f"unknown selector {name!r}; expected round_robin, hash, or first"
+    )
+
+
+# -- low-level indentation parser -------------------------------------------------
+
+
+def _parse_tree(text: str) -> Tree:
+    """Parse indentation-nested ``key: value`` lines into dicts."""
+    root: Tree = {}
+    # Stack of (indent, dict) frames.
+    stack: List[Tuple[int, Tree]] = [(-1, root)]
+    last_key_at: Dict[int, str] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].split("//", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        content = stripped.strip()
+        if ":" not in content:
+            raise DslError(f"expected 'key: value' or 'key:', got {content!r}", line_no)
+        key, _, value = content.partition(":")
+        key = key.strip()
+        value = value.strip()
+
+        while stack and indent <= stack[-1][0]:
+            stack.pop()
+        if not stack:
+            raise DslError(f"bad indentation for {key!r}", line_no)
+        parent = stack[-1][1]
+
+        if key in parent:
+            raise DslError(f"duplicate key {key!r}", line_no)
+        if value:
+            parent[key] = value
+        else:
+            child: Tree = {}
+            parent[key] = child
+            stack.append((indent, child))
+    return root
+
+
+# -- value parsing -----------------------------------------------------------------
+
+
+_SIZE_SUFFIXES = {"KB": KB, "MB": MB, "GB": GB, "B": 1.0}
+
+
+def parse_size(token: str) -> float:
+    """Parse ``4MB`` / ``64KB`` / ``123`` into bytes."""
+    token = token.strip()
+    for suffix in ("GB", "MB", "KB", "B"):
+        if token.upper().endswith(suffix):
+            number = token[: -len(suffix)]
+            try:
+                return float(number) * _SIZE_SUFFIXES[suffix]
+            except ValueError:
+                raise DslError(f"bad size literal {token!r}") from None
+    try:
+        return float(token)
+    except ValueError:
+        raise DslError(f"bad size literal {token!r}") from None
+
+
+def _parse_kv_spec(spec: str, field_name: str) -> Dict[str, str]:
+    """Parse ``a=1 b=2`` attribute strings."""
+    out: Dict[str, str] = {}
+    for chunk in spec.split():
+        if "=" not in chunk:
+            raise DslError(f"{field_name}: expected key=value, got {chunk!r}")
+        key, _, value = chunk.partition("=")
+        out[key.strip()] = value.strip()
+    return out
+
+
+def _parse_compute(spec: str) -> ComputeModel:
+    fields = _parse_kv_spec(spec, "compute")
+    known = {"base", "per_mb", "per_mb2", "jitter"}
+    unknown = set(fields) - known
+    if unknown:
+        raise DslError(f"compute: unknown fields {sorted(unknown)}")
+    return ComputeModel(
+        base_core_s=float(fields.get("base", 0.0)),
+        per_input_mb_core_s=float(fields.get("per_mb", 0.0)),
+        per_input_mb2_core_s=float(fields.get("per_mb2", 0.0)),
+        jitter=float(fields.get("jitter", 0.0)),
+    )
+
+
+def _parse_output(spec: str) -> OutputModel:
+    fields = _parse_kv_spec(spec, "output")
+    known = {"fixed", "ratio"}
+    unknown = set(fields) - known
+    if unknown:
+        raise DslError(f"output: unknown fields {sorted(unknown)}")
+    return OutputModel(
+        fixed_bytes=parse_size(fields["fixed"]) if "fixed" in fields else 0.0,
+        input_ratio=float(fields.get("ratio", 0.0)),
+    )
+
+
+# -- top-level interpretation --------------------------------------------------------
+
+
+def parse_workflow(text: str) -> Workflow:
+    """Parse a DSL document and return a validated :class:`Workflow`."""
+    tree = _parse_tree(text)
+    name = tree.get("workflow_name")
+    if not isinstance(name, str):
+        raise DslError("missing 'workflow_name: <name>' header")
+    dataflows = tree.get("dataflows")
+    if not isinstance(dataflows, dict) or not dataflows:
+        raise DslError("missing or empty 'dataflows:' section")
+
+    workflow = Workflow(name)
+    if isinstance(tree.get("default_fanout"), str):
+        workflow.default_fanout = int(tree["default_fanout"])  # type: ignore[arg-type]
+
+    # First pass: declare functions so edges can reference forward targets.
+    for function_name, body in dataflows.items():
+        if not isinstance(body, dict):
+            raise DslError(f"dataflow {function_name!r} must be a block")
+        compute_spec = body.get("compute")
+        if not isinstance(compute_spec, str):
+            raise DslError(f"{function_name}: missing 'compute: ...' spec")
+        output_spec = body.get("output", "ratio=0")
+        if not isinstance(output_spec, str):
+            raise DslError(f"{function_name}: 'output' must be inline key=value")
+        workflow.add_function(
+            function_name,
+            compute=_parse_compute(compute_spec),
+            output=_parse_output(output_spec),
+            memory_mb=int(body.get("memory_mb", "256")),
+            first_output_at=float(body.get("first_output_at", "0.25")),
+            flu_stages=int(body.get("flu_stages", "1")),
+        )
+
+    # Second pass: wire edges.
+    for function_name, body in dataflows.items():
+        assert isinstance(body, dict)
+        outputs = body.get("output_datas", {})
+        if isinstance(outputs, str):
+            raise DslError(f"{function_name}: 'output_datas' must be a block")
+        for dataname, edge_body in outputs.items():
+            if not isinstance(edge_body, dict):
+                raise DslError(
+                    f"{function_name}.{dataname}: edge must be a block with "
+                    f"'type:' and 'destination:'"
+                )
+            kind = EdgeKind.parse(str(edge_body.get("type", "NORMAL")))
+            destination_spec = edge_body.get("destination")
+            if not isinstance(destination_spec, str):
+                raise DslError(f"{function_name}.{dataname}: missing destination")
+            destinations = [d.strip() for d in destination_spec.split("|")]
+            function = workflow.functions[function_name]
+            if kind is EdgeKind.SWITCH:
+                selector_name = str(edge_body.get("selector", "round_robin"))
+                selector = _make_selector(selector_name, len(destinations))
+                function.add_edge(dataname, kind, destinations, selector)
+            else:
+                if len(destinations) != 1:
+                    raise DslError(
+                        f"{function_name}.{dataname}: {kind.name} takes exactly "
+                        f"one destination"
+                    )
+                function.add_edge(dataname, kind, destinations)
+
+    entry = tree.get("entry")
+    if isinstance(entry, str):
+        workflow.entry = entry
+    else:
+        workflow.entry = _infer_entry(workflow)
+
+    validate(workflow)
+    return workflow
+
+
+def _infer_entry(workflow: Workflow) -> str:
+    """The unique function nothing feeds, else the first declared."""
+    fed = {
+        dest
+        for function in workflow.functions.values()
+        for edge in function.edges
+        for dest in edge.destinations
+        if dest != USER
+    }
+    candidates = [name for name in workflow.functions if name not in fed]
+    if len(candidates) == 1:
+        return candidates[0]
+    return next(iter(workflow.functions))

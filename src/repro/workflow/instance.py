@@ -1,0 +1,232 @@
+"""Per-request task-graph instantiation.
+
+A workflow invocation expands the static DAG into a concrete *task graph*:
+FOREACH edges fan out into ``fanout`` destination tasks, MERGE edges fan
+back into one, SWITCH edges pick one destination per source task.  Data
+sizes are propagated topologically from the request's input size through
+each function's output model, so every execution system sees exactly the
+same bytes on exactly the same edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import EdgeKind, USER, Workflow
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One workflow invocation."""
+
+    request_id: str
+    input_bytes: float
+    #: Width used by FOREACH edges in this invocation.
+    fanout: int = 4
+    #: Seed for SWITCH selectors (dynamic DAG decisions).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0:
+            raise ValueError("input_bytes must be non-negative")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+
+
+@dataclass
+class TaskEdge:
+    """A concrete datum flowing between two task instances."""
+
+    src: "Task"
+    dst: Optional["Task"]  # None means $USER
+    nbytes: float
+    dataname: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """(request-scoped) identity used by sinks and checkpoint tables."""
+        dst_id = self.dst.task_id if self.dst is not None else USER
+        return (self.src.task_id, dst_id, self.dataname)
+
+
+@dataclass
+class Task:
+    """One function invocation inside one workflow request."""
+
+    task_id: str
+    function: str
+    branch: int
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    inputs: List[TaskEdge] = field(default_factory=list)
+    outputs: List[TaskEdge] = field(default_factory=list)
+
+    @property
+    def is_entry(self) -> bool:
+        return not self.inputs
+
+    @property
+    def is_terminal(self) -> bool:
+        return all(edge.dst is None for edge in self.outputs) or not self.outputs
+
+    def __repr__(self) -> str:
+        return f"<Task {self.task_id} in={self.input_bytes:.0f}B>"
+
+
+class TaskGraph:
+    """The expanded, sized task graph of one request."""
+
+    def __init__(self, workflow: Workflow, request: RequestSpec) -> None:
+        self.workflow = workflow
+        self.request = request
+        self.tasks: List[Task] = []
+        self.edges: List[TaskEdge] = []
+        self._by_function: Dict[str, List[Task]] = {}
+        self._expand()
+
+    # -- public queries ---------------------------------------------------------
+
+    def tasks_of(self, function: str) -> List[Task]:
+        return list(self._by_function.get(function, []))
+
+    @property
+    def terminal_tasks(self) -> List[Task]:
+        return [task for task in self.tasks if task.is_terminal]
+
+    def task(self, task_id: str) -> Task:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(task_id)
+
+    def total_transfer_bytes(self) -> float:
+        """Bytes crossing inter-function edges (excluding returns to $USER)."""
+        return sum(edge.nbytes for edge in self.edges if edge.dst is not None)
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _expand(self) -> None:
+        workflow = self.workflow
+        request = self.request
+        order = workflow.topological_order()
+        if workflow.entry is None:
+            raise ValueError("workflow has no entry function")
+
+        self._ensure_instances(workflow.entry, 1)
+
+        for name in order:
+            instances = self._by_function.get(name)
+            if not instances:
+                continue  # unreached (e.g. non-selected SWITCH candidate)
+            function = workflow.functions[name]
+            for task in instances:
+                if task.is_entry and name == workflow.entry:
+                    task.input_bytes += request.input_bytes
+                task.output_bytes = function.output.output_bytes(task.input_bytes)
+            for edge in function.edges:
+                self._expand_edge(name, edge, instances)
+
+        # Keep deterministic topological task order for the engines.
+        self.tasks = [
+            task for name in order for task in self._by_function.get(name, [])
+        ]
+
+    def _expand_edge(self, source: str, edge, instances: List[Task]) -> None:
+        request = self.request
+        if edge.kind is EdgeKind.NORMAL:
+            dest = edge.destination
+            if dest == USER:
+                for task in instances:
+                    self._add_edge(task, None, task.output_bytes, edge.dataname)
+                return
+            targets = self._ensure_instances(dest, len(instances))
+            if len(targets) == len(instances):
+                pairs = zip(instances, targets)
+            elif len(targets) == 1:
+                pairs = ((task, targets[0]) for task in instances)
+            else:
+                raise ValueError(
+                    f"NORMAL edge {source}->{dest}: incompatible instance "
+                    f"counts {len(instances)} vs {len(targets)}"
+                )
+            for task, target in pairs:
+                self._add_edge(task, target, task.output_bytes, edge.dataname)
+        elif edge.kind is EdgeKind.FOREACH:
+            dest = edge.destination
+            if dest == USER:
+                raise ValueError("FOREACH edges cannot target $USER")
+            width = request.fanout
+            targets = self._ensure_instances(dest, len(instances) * width)
+            for i, task in enumerate(instances):
+                share = task.output_bytes / width
+                for j in range(width):
+                    target = targets[i * width + j]
+                    self._add_edge(task, target, share, f"{edge.dataname}[{j}]")
+        elif edge.kind is EdgeKind.MERGE:
+            dest = edge.destination
+            if dest == USER:
+                raise ValueError("MERGE edges cannot target $USER")
+            targets = self._ensure_instances(dest, 1)
+            for task in instances:
+                self._add_edge(
+                    task, targets[0], task.output_bytes,
+                    f"{edge.dataname}[{task.branch}]",
+                )
+        elif edge.kind is EdgeKind.SWITCH:
+            selector = edge.selector
+            if selector is None:
+                raise ValueError(f"SWITCH edge {source}.{edge.dataname} lacks selector")
+            for task in instances:
+                index = selector(request.seed, task.branch)
+                if not 0 <= index < len(edge.destinations):
+                    raise ValueError(
+                        f"selector for {source}.{edge.dataname} returned "
+                        f"out-of-range index {index}"
+                    )
+                dest = edge.destinations[index]
+                if dest == USER:
+                    self._add_edge(task, None, task.output_bytes, edge.dataname)
+                    continue
+                targets = self._ensure_instances(dest, 1, grow=True)
+                target = targets[-1] if len(targets) > 1 else targets[0]
+                self._add_edge(task, target, task.output_bytes, edge.dataname)
+        else:  # pragma: no cover - exhaustive over EdgeKind
+            raise AssertionError(f"unhandled edge kind {edge.kind}")
+
+    def _ensure_instances(self, name: str, count: int, grow: bool = False) -> List[Task]:
+        existing = self._by_function.get(name)
+        if existing is None:
+            created = [
+                Task(
+                    task_id=f"{name}#{i}" if count > 1 else name,
+                    function=name,
+                    branch=i,
+                )
+                for i in range(count)
+            ]
+            self._by_function[name] = created
+            return created
+        if len(existing) == count or len(existing) == 1 or count == 1:
+            return existing
+        raise ValueError(
+            f"function {name!r} already instantiated with {len(existing)} "
+            f"instances; cannot reconcile with {count}"
+        )
+
+    def _add_edge(
+        self, src: Task, dst: Optional[Task], nbytes: float, dataname: str
+    ) -> TaskEdge:
+        edge = TaskEdge(src=src, dst=dst, nbytes=nbytes, dataname=dataname)
+        src.outputs.append(edge)
+        if dst is not None:
+            dst.inputs.append(edge)
+            dst.input_bytes += nbytes
+        self.edges.append(edge)
+        return edge
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskGraph {self.workflow.name}/{self.request.request_id} "
+            f"tasks={len(self.tasks)}>"
+        )

@@ -1,0 +1,220 @@
+"""Workflow model: functions, data edges, and the workflow DAG.
+
+With the data-flow paradigm the graph's edges carry *data transfer
+relationships* (Figure 7): for each function we declare where each named
+output flows.  Edge kinds mirror the paper's DSL:
+
+``NORMAL``
+    One datum to one destination invocation (branch-preserving inside a
+    fan-out scope).
+``FOREACH``
+    The output is a list split across N destination invocations (fan-out).
+``MERGE``
+    All branch invocations of the source feed a single destination
+    invocation (fan-in); the destination sees a LIST input.
+``SWITCH``
+    Exactly one of several candidate destinations receives the datum,
+    chosen at run time (dynamic DAG support, §5.1).
+
+The same :class:`Workflow` object drives the control-flow baselines (which
+interpret edges as control dependencies) and DataFlower (which interprets
+them as the data-flow graph), so every system executes identical work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .profiles import ComputeModel, FunctionProfile, OutputModel
+
+#: Destination token meaning "return to the invoking user".
+USER = "$USER"
+
+
+class EdgeKind(enum.Enum):
+    NORMAL = "NORMAL"
+    FOREACH = "FOREACH"
+    MERGE = "MERGE"
+    SWITCH = "SWITCH"
+
+    @classmethod
+    def parse(cls, token: str) -> "EdgeKind":
+        try:
+            return cls[token.strip().upper()]
+        except KeyError:
+            valid = ", ".join(kind.name for kind in cls)
+            raise ValueError(f"unknown edge kind {token!r}; expected one of {valid}")
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """One declared data transfer relationship."""
+
+    source: str
+    dataname: str
+    kind: EdgeKind
+    #: Destination function names.  NORMAL/FOREACH/MERGE use exactly one;
+    #: SWITCH lists every candidate.
+    destinations: Tuple[str, ...]
+    #: For SWITCH: picks the destination index given (request_seed, branch).
+    selector: Optional[Callable[[int, int], int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError(f"edge {self.source}.{self.dataname} has no destination")
+        if self.kind is EdgeKind.SWITCH:
+            if len(self.destinations) < 2:
+                raise ValueError("SWITCH edges need at least two candidates")
+        elif len(self.destinations) != 1:
+            raise ValueError(f"{self.kind.name} edges take exactly one destination")
+
+    @property
+    def destination(self) -> str:
+        return self.destinations[0]
+
+
+@dataclass
+class FunctionDef:
+    """A serverless function inside a workflow."""
+
+    name: str
+    profile: FunctionProfile
+    output: OutputModel
+    edges: List[DataEdge] = field(default_factory=list)
+
+    def add_edge(
+        self,
+        dataname: str,
+        kind: EdgeKind,
+        destinations: Sequence[str],
+        selector: Optional[Callable[[int, int], int]] = None,
+    ) -> DataEdge:
+        edge = DataEdge(self.name, dataname, kind, tuple(destinations), selector)
+        self.edges.append(edge)
+        return edge
+
+    @property
+    def is_sink(self) -> bool:
+        """True when every edge targets the user (terminal function)."""
+        return all(
+            dest == USER for edge in self.edges for dest in edge.destinations
+        ) or not self.edges
+
+
+class Workflow:
+    """A named DAG of functions connected by data edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: Dict[str, FunctionDef] = {}
+        self.entry: Optional[str] = None
+        #: Default fan-out width for FOREACH edges (overridable per request).
+        self.default_fanout: int = 1
+
+    # -- construction ----------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        compute: ComputeModel,
+        output: OutputModel,
+        memory_mb: int = 256,
+        first_output_at: float = 0.25,
+        flu_stages: int = 1,
+    ) -> FunctionDef:
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name!r} in workflow {self.name!r}")
+        if name == USER:
+            raise ValueError(f"{USER} is a reserved destination token")
+        profile = FunctionProfile(
+            compute=compute,
+            memory_mb=memory_mb,
+            first_output_at=first_output_at,
+            flu_stages=flu_stages,
+        )
+        function = FunctionDef(name=name, profile=profile, output=output)
+        self.functions[name] = function
+        if self.entry is None:
+            self.entry = name
+        return function
+
+    def connect(
+        self,
+        source: str,
+        destination: str,
+        kind: EdgeKind = EdgeKind.NORMAL,
+        dataname: Optional[str] = None,
+    ) -> DataEdge:
+        """Convenience for single-destination edges."""
+        function = self._require(source)
+        name = dataname or f"{source}.out{len(function.edges)}"
+        return function.add_edge(name, kind, [destination])
+
+    def connect_switch(
+        self,
+        source: str,
+        destinations: Sequence[str],
+        selector: Callable[[int, int], int],
+        dataname: Optional[str] = None,
+    ) -> DataEdge:
+        function = self._require(source)
+        name = dataname or f"{source}.switch{len(function.edges)}"
+        return function.add_edge(name, EdgeKind.SWITCH, destinations, selector)
+
+    def _require(self, name: str) -> FunctionDef:
+        if name not in self.functions:
+            raise KeyError(f"workflow {self.name!r} has no function {name!r}")
+        return self.functions[name]
+
+    # -- queries -----------------------------------------------------------------
+
+    def predecessors(self, name: str) -> List[Tuple[FunctionDef, DataEdge]]:
+        """(source function, edge) pairs that may feed ``name``."""
+        found = []
+        for function in self.functions.values():
+            for edge in function.edges:
+                if name in edge.destinations:
+                    found.append((function, edge))
+        return found
+
+    def successors(self, name: str) -> List[DataEdge]:
+        return list(self._require(name).edges)
+
+    def function_names(self) -> List[str]:
+        return list(self.functions)
+
+    def topological_order(self) -> List[str]:
+        """Function names in a control-flow trigger order; raises on cycles."""
+        indegree = {name: 0 for name in self.functions}
+        for function in self.functions.values():
+            for edge in function.edges:
+                for dest in edge.destinations:
+                    if dest != USER:
+                        if dest not in indegree:
+                            raise ValueError(
+                                f"edge {function.name} -> {dest} targets an "
+                                f"undefined function"
+                            )
+                        indegree[dest] += 1
+        frontier = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while frontier:
+            current = frontier.pop(0)
+            order.append(current)
+            for edge in self.functions[current].edges:
+                for dest in edge.destinations:
+                    if dest == USER:
+                        continue
+                    indegree[dest] -= 1
+                    if indegree[dest] == 0:
+                        frontier.append(dest)
+            frontier.sort()
+        if len(order) != len(self.functions):
+            missing = set(self.functions) - set(order)
+            raise ValueError(f"workflow {self.name!r} has a cycle involving {missing}")
+        return order
+
+    def __repr__(self) -> str:
+        return f"<Workflow {self.name} functions={len(self.functions)}>"

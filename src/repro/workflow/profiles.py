@@ -1,0 +1,90 @@
+"""Function cost models: compute time and output size as data functions.
+
+A function's *work* is expressed in core-seconds as an affine function of
+its total input bytes; its *output size* is either fixed, proportional to
+the input, or an explicit split across fan-out branches.  These profiles
+are what the benchmark definitions in :mod:`repro.apps` are calibrated
+with, and they drive both the control-flow baselines and DataFlower, so
+relative results are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.telemetry import MB
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """``core_seconds = base + per_mb * mb + per_mb2 * mb^2`` (+ jitter).
+
+    The quadratic term models superlinear kernels (sorting, merging,
+    factorization): with it, computation eventually outgrows the (linear)
+    communication as inputs grow — the effect behind Figure 16(b), where
+    the data-flow paradigm's advantage shrinks on large inputs.
+    """
+
+    base_core_s: float = 0.0
+    per_input_mb_core_s: float = 0.0
+    per_input_mb2_core_s: float = 0.0
+    #: Relative stddev of multiplicative lognormal-ish jitter (0 = none).
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (
+            self.base_core_s < 0
+            or self.per_input_mb_core_s < 0
+            or self.per_input_mb2_core_s < 0
+        ):
+            raise ValueError("compute model coefficients must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def core_seconds(self, input_bytes: float, rng=None) -> float:
+        input_mb = input_bytes / MB
+        work = (
+            self.base_core_s
+            + self.per_input_mb_core_s * input_mb
+            + self.per_input_mb2_core_s * input_mb * input_mb
+        )
+        if self.jitter and rng is not None:
+            work *= max(0.05, rng.gauss(1.0, self.jitter))
+        return work
+
+
+@dataclass(frozen=True)
+class OutputModel:
+    """``output_bytes = fixed + ratio * input_bytes``."""
+
+    fixed_bytes: float = 0.0
+    input_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed_bytes < 0 or self.input_ratio < 0:
+            raise ValueError("output model coefficients must be non-negative")
+
+    def output_bytes(self, input_bytes: float) -> float:
+        return self.fixed_bytes + self.input_ratio * input_bytes
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Everything the simulator needs to run one function."""
+
+    compute: ComputeModel
+    memory_mb: int = 256
+    #: Fraction of FLU compute after which the first output chunk exists;
+    #: DataFlower's DLU starts streaming then (§3.3.3 early data transfer).
+    first_output_at: float = 0.25
+    #: Number of pipelined sub-FLUs the computation can split into (§5.1).
+    flu_stages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if not 0 <= self.first_output_at <= 1:
+            raise ValueError("first_output_at must lie in [0, 1]")
+        if self.flu_stages < 1:
+            raise ValueError("flu_stages must be >= 1")

@@ -1,0 +1,86 @@
+"""Static validation of workflow definitions.
+
+Run before deployment: a workflow that passes :func:`validate` is
+guaranteed to instantiate into a finite, connected, acyclic task graph for
+any request, which the engines rely on (no liveness checks at run time).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import EdgeKind, USER, Workflow
+
+
+class WorkflowValidationError(ValueError):
+    """A workflow definition is structurally unusable."""
+
+    def __init__(self, workflow_name: str, problems: List[str]) -> None:
+        self.problems = problems
+        joined = "; ".join(problems)
+        super().__init__(f"workflow {workflow_name!r} invalid: {joined}")
+
+
+def validate(workflow: Workflow) -> None:
+    """Raise :class:`WorkflowValidationError` listing every problem found."""
+    problems: List[str] = []
+
+    if not workflow.functions:
+        problems.append("no functions defined")
+    if workflow.entry is not None and workflow.entry not in workflow.functions:
+        problems.append(f"entry {workflow.entry!r} is not a defined function")
+
+    for function in workflow.functions.values():
+        for edge in function.edges:
+            for dest in edge.destinations:
+                if dest != USER and dest not in workflow.functions:
+                    problems.append(
+                        f"{function.name}.{edge.dataname} targets undefined "
+                        f"function {dest!r}"
+                    )
+            if edge.kind is EdgeKind.SWITCH and edge.selector is None:
+                problems.append(
+                    f"{function.name}.{edge.dataname} is SWITCH without a selector"
+                )
+
+    if not problems:
+        try:
+            order = workflow.topological_order()
+        except ValueError as exc:
+            problems.append(str(exc))
+        else:
+            reachable = _reachable_from_entry(workflow)
+            unreachable = [name for name in order if name not in reachable]
+            if unreachable:
+                problems.append(
+                    f"functions unreachable from entry: {sorted(unreachable)}"
+                )
+            has_user_edge = any(
+                dest == USER
+                for function in workflow.functions.values()
+                for edge in function.edges
+                for dest in edge.destinations
+            )
+            terminal = [
+                name for name in order if not workflow.functions[name].edges
+            ]
+            if not has_user_edge and not terminal:
+                problems.append("no terminal function returns to $USER")
+
+    if problems:
+        raise WorkflowValidationError(workflow.name, problems)
+
+
+def _reachable_from_entry(workflow: Workflow) -> set:
+    if workflow.entry is None:
+        return set()
+    seen = set()
+    frontier = [workflow.entry]
+    while frontier:
+        current = frontier.pop()
+        if current in seen or current == USER:
+            continue
+        seen.add(current)
+        for edge in workflow.functions[current].edges:
+            frontier.extend(edge.destinations)
+    return seen

@@ -1,0 +1,58 @@
+"""ASCII rendering of workflow DAGs and task graphs.
+
+Handy for examples, docs, and debugging placements::
+
+    >>> print(render_workflow(get_app("wc").build()))
+    wordcount_start
+      --FOREACH[filelist]--> wordcount_count
+    wordcount_count
+      --MERGE[count_result]--> wordcount_merge
+    wordcount_merge
+      --NORMAL[output]--> $USER
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cluster.node import Node
+from .instance import TaskGraph
+from .model import Workflow
+
+
+def render_workflow(
+    workflow: Workflow, placement: Optional[Dict[str, Node]] = None
+) -> str:
+    """One line per function, one indented line per outgoing edge."""
+    lines = []
+    for name in workflow.topological_order():
+        function = workflow.functions[name]
+        suffix = ""
+        if placement is not None and name in placement:
+            suffix = f"  @{placement[name].name}"
+        memory = function.profile.memory_mb
+        lines.append(f"{name} ({memory}MB){suffix}")
+        for edge in function.edges:
+            targets = " | ".join(edge.destinations)
+            lines.append(f"  --{edge.kind.name}[{edge.dataname}]--> {targets}")
+    return "\n".join(lines)
+
+
+def render_task_graph(graph: TaskGraph) -> str:
+    """The expanded per-request view with concrete byte counts."""
+    lines = [
+        f"request {graph.request.request_id}: "
+        f"{len(graph.tasks)} tasks, "
+        f"{graph.total_transfer_bytes() / 1024:.0f} KB inter-function data"
+    ]
+    for task in graph.tasks:
+        lines.append(
+            f"{task.task_id}  in={task.input_bytes / 1024:.0f}KB "
+            f"out={task.output_bytes / 1024:.0f}KB"
+        )
+        for edge in task.outputs:
+            target = edge.dst.task_id if edge.dst is not None else "$USER"
+            lines.append(
+                f"  ==[{edge.dataname} {edge.nbytes / 1024:.0f}KB]==> {target}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Tests for the overlap/trigger analysis and claims checker."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerSystem,
+    Environment,
+    FaasFlowSystem,
+    constant,
+    default_request_factory,
+    round_robin,
+    run_open_loop,
+)
+from repro.analysis import check_claims, measure_overlap, measure_triggering
+from repro.apps import get_app
+
+
+def run_system(system_cls, app_name="wc", rpm=60, duration=30.0):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = system_cls(env, cluster)
+    app = get_app(app_name)
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    factory = default_request_factory(
+        system, workflow.name, app.default_input_bytes, app.default_fanout
+    )
+    result = run_open_loop(system, workflow.name, factory, constant(rpm, duration))
+    return system, result
+
+
+def test_overlap_zero_for_control_flow():
+    system, result = run_system(FaasFlowSystem, "vid", rpm=12)
+    report = measure_overlap(system)
+    assert report.net_busy_s > 0
+    assert report.overlap_ratio == pytest.approx(0.0, abs=1e-9)
+
+
+def test_overlap_positive_for_dataflower():
+    system, result = run_system(DataFlowerSystem, "vid", rpm=12)
+    report = measure_overlap(system)
+    assert report.overlap_s > 0
+    assert report.overlap_ratio > 0.2
+
+
+def test_trigger_report_dataflower_vs_faasflow():
+    flower_sys, flower = run_system(DataFlowerSystem)
+    faas_sys, faas = run_system(FaasFlowSystem)
+    flower_report = measure_triggering(flower.records)
+    faas_report = measure_triggering(faas.records)
+    assert flower_report.mean_overhead_s < faas_report.mean_overhead_s
+    assert flower_report.task_count > 0
+    # Control flow never overlaps functions of different stages.
+    assert faas_report.early_start_count == 0
+
+
+def test_early_starts_on_single_node():
+    """Figure 13's setup: with local pipes, count begins before start ends."""
+    from repro import DataFlowerConfig, RequestSpec, single_node
+
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster, DataFlowerConfig(input_local=True))
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, single_node(workflow, cluster.workers))
+    for i in range(3):
+        done = system.submit(
+            workflow.name,
+            RequestSpec(f"r{i}", input_bytes=app.default_input_bytes, fanout=4),
+        )
+        env.run(until=done)
+    report = measure_triggering(system.records)
+    assert report.early_start_count > 0
+
+
+def test_trigger_report_requires_completed_requests():
+    with pytest.raises(ValueError):
+        measure_triggering([])
+
+
+def test_check_claims_end_to_end():
+    flower = {}
+    faas = {}
+    for bench in ["wc", "vid"]:
+        _, flower[bench] = run_system(DataFlowerSystem, bench, rpm=20)
+        _, faas[bench] = run_system(FaasFlowSystem, bench, rpm=20)
+    checks = check_claims(flower, faas)
+    by_claim = {c.claim: c for c in checks}
+    p99 = by_claim["p99 latency reduction vs FaaSFlow"]
+    assert p99.holds
+    assert 0.0 < p99.measured < 1.0
+    memory = by_claim["memory usage reduction vs FaaSFlow"]
+    assert memory.holds
+    for check in checks:
+        assert isinstance(check.describe(), str)
+
+
+def test_check_claims_requires_common_benchmarks():
+    with pytest.raises(ValueError):
+        check_claims({"a": None}, {"b": None})

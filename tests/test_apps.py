@@ -1,0 +1,127 @@
+"""Tests for the benchmark definitions and their paper calibration."""
+
+import pytest
+
+from repro.apps import APP_ORDER, all_apps, get_app
+from repro.cluster.telemetry import MB
+from repro.workflow import RequestSpec, TaskGraph, validate
+from repro.workflow.visualize import render_task_graph, render_workflow
+
+
+def test_registry_has_paper_order():
+    assert APP_ORDER == ["img", "vid", "svd", "wc"]
+    assert [app.short_name for app in all_apps()] == APP_ORDER
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        get_app("nope")
+
+
+@pytest.mark.parametrize("name", APP_ORDER)
+def test_every_app_validates(name):
+    workflow = get_app(name).build()
+    validate(workflow)  # raises on any structural problem
+
+
+@pytest.mark.parametrize("name", APP_ORDER)
+def test_every_app_has_sane_defaults(name):
+    app = get_app(name)
+    assert app.default_input_bytes > 0
+    assert app.default_fanout >= 1
+    assert app.title
+
+
+def test_wc_shape():
+    workflow = get_app("wc").build()
+    graph = TaskGraph(workflow, RequestSpec("r", input_bytes=4 * MB, fanout=4))
+    assert len(graph.tasks_of("wordcount_start")) == 1
+    assert len(graph.tasks_of("wordcount_count")) == 4
+    assert len(graph.tasks_of("wordcount_merge")) == 1
+
+
+def test_vid_and_svd_are_fan_out_fan_in():
+    for name, middle in [("vid", "vid_transcode"), ("svd", "svd_factorize")]:
+        app = get_app(name)
+        workflow = app.build()
+        graph = TaskGraph(
+            workflow,
+            RequestSpec("r", input_bytes=app.default_input_bytes,
+                        fanout=app.default_fanout),
+        )
+        assert len(graph.tasks_of(middle)) == app.default_fanout
+        assert len(graph.terminal_tasks) == 1
+
+
+def test_img_is_a_linear_chain():
+    workflow = get_app("img").build()
+    graph = TaskGraph(workflow, RequestSpec("r", input_bytes=4 * MB))
+    assert len(graph.tasks) == 4
+    for task in graph.tasks:
+        assert len([e for e in task.outputs if e.dst is not None]) <= 1
+
+
+def comm_comp_ratio(name):
+    """Analytic comm/(comm+comp) on the production platform's data path.
+
+    Uses each function's profile directly (container-bandwidth-limited
+    double transfer through the backend) to sanity-check the Figure 2(a)
+    calibration without running the simulator.
+    """
+    from repro.cluster.spec import ContainerSpec
+
+    app = get_app(name)
+    workflow = app.build()
+    graph = TaskGraph(
+        workflow,
+        RequestSpec("r", input_bytes=app.default_input_bytes,
+                    fanout=app.default_fanout),
+    )
+    comm = comp = 0.0
+    for function_name in workflow.topological_order():
+        tasks = graph.tasks_of(function_name)
+        if not tasks:
+            continue
+        task = tasks[0]  # one branch representative (they run in parallel)
+        profile = workflow.functions[function_name].profile
+        spec = ContainerSpec(memory_mb=profile.memory_mb)
+        bandwidth = spec.net_bytes_per_s
+        comm += task.input_bytes / bandwidth + task.output_bytes / bandwidth
+        comp += profile.compute.core_seconds(task.input_bytes) / spec.cpu_cores
+    return comm / (comm + comp)
+
+
+def test_calibration_matches_paper_ordering():
+    """Figure 2(a): wc most communication-bound, img least."""
+    ratios = {name: comm_comp_ratio(name) for name in APP_ORDER}
+    assert ratios["wc"] > ratios["vid"] > ratios["svd"] > ratios["img"]
+    assert ratios["wc"] > 0.7
+    assert ratios["img"] < 0.4
+
+
+def test_render_workflow_lists_every_function():
+    workflow = get_app("wc").build()
+    text = render_workflow(workflow)
+    for name in workflow.function_names():
+        assert name in text
+    assert "FOREACH" in text and "MERGE" in text
+
+
+def test_render_workflow_with_placement():
+    from repro import Cluster, ClusterConfig, Environment, round_robin
+
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    workflow = get_app("svd").build()
+    placement = round_robin(workflow, cluster.workers)
+    text = render_workflow(workflow, placement)
+    assert "@worker1" in text
+
+
+def test_render_task_graph_shows_bytes():
+    workflow = get_app("wc").build()
+    graph = TaskGraph(workflow, RequestSpec("r", input_bytes=4 * MB, fanout=2))
+    text = render_task_graph(graph)
+    assert "wordcount_count#0" in text
+    assert "$USER" in text
+    assert "KB" in text

@@ -1,0 +1,153 @@
+"""Mechanism-ablation matrix: every DataFlower toggle works and helps.
+
+Each of DataFlower's mechanisms can be disabled independently; these
+tests check (a) correctness is preserved under every combination, and
+(b) each mechanism pulls in the direction the paper claims.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerConfig,
+    DataFlowerSystem,
+    Environment,
+    RequestSpec,
+    constant,
+    default_request_factory,
+    round_robin,
+    run_open_loop,
+)
+from repro.apps import get_app
+
+
+def run_with(app_name="wc", rpm=None, duration=30.0, **cfg):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster, DataFlowerConfig(**cfg))
+    app = get_app(app_name)
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    if rpm is None:
+        done = system.submit(
+            workflow.name,
+            RequestSpec(
+                "r1", input_bytes=app.default_input_bytes,
+                fanout=app.default_fanout,
+            ),
+        )
+        record = env.run(until=done)
+        return system, record
+    factory = default_request_factory(
+        system, workflow.name, app.default_input_bytes, app.default_fanout
+    )
+    return system, run_open_loop(
+        system, workflow.name, factory, constant(rpm, duration)
+    )
+
+
+TOGGLES = ["streaming", "proactive_release", "passive_expire", "pressure_aware"]
+
+
+@pytest.mark.parametrize(
+    "disabled",
+    [()]
+    + [(name,) for name in TOGGLES]
+    + list(itertools.combinations(TOGGLES, 2)),
+)
+def test_every_toggle_combination_is_correct(disabled):
+    overrides = {name: False for name in disabled}
+    system, record = run_with("vid", **overrides)
+    assert record.completed, f"{disabled}: {record.error}"
+    for engine in system.engines.values():
+        assert engine.sink.resident_bytes() == 0
+
+
+def test_streaming_reduces_latency():
+    _, with_streaming = run_with("vid")
+    _, without = run_with("vid", streaming=False)
+    assert with_streaming.latency < without.latency
+
+
+def test_streaming_off_means_no_early_deposits():
+    """Without streaming, consumers never start before producers finish."""
+    system, record = run_with("wc", streaming=False)
+    start_end = record.task("wordcount_start").exec_end
+    for task in record.tasks:
+        if task.function == "wordcount_count":
+            assert task.exec_start >= start_end - 1e-9
+
+
+def test_proactive_release_reduces_cache_footprint():
+    _, proactive = run_with("vid", rpm=20)
+    _, lazy = run_with("vid", rpm=20, proactive_release=False)
+    assert proactive.usage.cache_mbs < lazy.usage.cache_mbs
+
+
+def test_passive_expire_spills_stale_data():
+    """An aborted consumer leaves data that must spill, not squat."""
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(
+        env, cluster,
+        DataFlowerConfig(sink_ttl_s=2.0, proactive_release=False),
+    )
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    done = system.submit(
+        workflow.name,
+        RequestSpec("r1", input_bytes=app.default_input_bytes, fanout=4),
+    )
+    env.run(until=done)
+    # Data lingered (non-proactive) but the run finished under the TTL,
+    # so request-completion cleanup got it; run another request and stop
+    # mid-flight to create stale entries.
+    system.submit(
+        workflow.name,
+        RequestSpec("r2", input_bytes=app.default_input_bytes, fanout=4),
+    )
+    env.run(until=env.now + 0.05)  # data deposited, not yet consumed
+    env.run(until=env.now + 10.0)  # TTL passes
+    spills = sum(engine.sink.spills for engine in system.engines.values())
+    total_deposits = sum(engine.sink.deposits for engine in system.engines.values())
+    assert total_deposits > 0
+    # Depending on timing some entries were consumed first; stale ones
+    # must have spilled rather than lingering in memory unfetched.
+    for engine in system.engines.values():
+        for tasks in engine.sink._index.values():
+            for datas in tasks.values():
+                for entry in datas.values():
+                    if not entry.fetched:
+                        assert entry.state.value in ("spilled", "released")
+
+
+def test_small_data_threshold_switches_transport():
+    # With a 10 MB socket threshold everything in wc goes by socket.
+    system, record = run_with("wc", small_data_bytes=10 * 1024 * 1024)
+    assert system.router.stream_pushes == 0
+    assert system.router.socket_pushes > 0
+
+    system2, record2 = run_with("wc", small_data_bytes=0.5)
+    assert system2.router.socket_pushes == 0
+    assert record2.completed
+
+
+def test_determinism_same_seed_same_trace():
+    def trace():
+        system, result = run_with("vid", rpm=30)
+        return [round(r.latency, 9) for r in result.completed]
+
+    assert trace() == trace()
+
+
+def test_different_seed_changes_jittered_costs():
+    # Trigger costs are jittered through the seeded rng: different system
+    # seeds produce different (but internally consistent) traces.
+    _, a = run_with("wc", seed=1)
+    _, b = run_with("wc", seed=2)
+    assert a.completed and b.completed
+    assert a.latency != b.latency

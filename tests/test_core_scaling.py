@@ -1,0 +1,75 @@
+"""Tests for pressure-aware function scaling (Equation 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scaling import ScalingDecision, evaluate, pressure
+
+
+def test_pressure_formula_matches_paper():
+    # Pressure = alpha * Size/Bw - T_FLU
+    assert pressure(10e6, 5e6, 1.0, alpha=1.0) == pytest.approx(1.0)
+    assert pressure(10e6, 5e6, 3.0, alpha=1.0) == pytest.approx(-1.0)
+    assert pressure(10e6, 5e6, 1.0, alpha=1.5) == pytest.approx(2.0)
+
+
+def test_no_backpressure_when_dlu_keeps_up():
+    decision = evaluate(1e6, 10e6, t_flu_s=1.0, alpha=1.0)
+    assert not decision.backpressure
+    assert decision.block_s == 0.0
+
+
+def test_backpressure_blocks_for_pressure_time():
+    decision = evaluate(20e6, 5e6, t_flu_s=1.0, alpha=1.0)
+    assert decision.backpressure
+    assert decision.block_s == pytest.approx(3.0)
+
+
+def test_disabled_is_non_aware_variant():
+    decision = evaluate(100e6, 1e6, t_flu_s=0.1, alpha=1.2, enabled=False)
+    assert not decision.backpressure
+    assert decision.block_s == 0.0
+
+
+def test_pressure_validation():
+    with pytest.raises(ValueError):
+        pressure(1.0, 0.0, 1.0, alpha=1.0)
+    with pytest.raises(ValueError):
+        pressure(-1.0, 1.0, 1.0, alpha=1.0)
+    with pytest.raises(ValueError):
+        pressure(1.0, 1.0, -1.0, alpha=1.0)
+    with pytest.raises(ValueError):
+        pressure(1.0, 1.0, 1.0, alpha=0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.floats(min_value=0, max_value=1e9),
+    bw=st.floats(min_value=1.0, max_value=1e9),
+    t_flu=st.floats(min_value=0, max_value=100),
+    alpha=st.floats(min_value=0.1, max_value=3.0),
+)
+def test_property_block_time_caps_production_rate(size, bw, t_flu, alpha):
+    """Blocking for Pressure seconds limits the FLU rate to the DLU rate.
+
+    After blocking, one invocation occupies T_FLU + block >= alpha*Size/Bw,
+    i.e. at least the (loss-adjusted) transfer time — so data can never
+    pile up at the DLU faster than it drains.
+    """
+    decision = evaluate(size, bw, t_flu, alpha)
+    assert decision.block_s >= 0
+    effective_period = t_flu + decision.block_s
+    assert effective_period >= alpha * size / bw - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.floats(min_value=0, max_value=1e9),
+    bw=st.floats(min_value=1.0, max_value=1e9),
+    t_flu=st.floats(min_value=0, max_value=100),
+)
+def test_property_pressure_monotonic_in_size(size, bw, t_flu):
+    base = pressure(size, bw, t_flu, alpha=1.0)
+    bigger = pressure(size * 2 + 1, bw, t_flu, alpha=1.0)
+    assert bigger >= base

@@ -1,0 +1,167 @@
+"""Tests for the Figure-7 DSL parser."""
+
+import pytest
+
+from repro.workflow import DslError, EdgeKind, parse_size, parse_workflow
+from repro.cluster.telemetry import KB, MB
+
+
+MINIMAL = """
+workflow_name: demo
+dataflows:
+  first:
+    compute: base=0.1
+    output: ratio=1.0
+    output_datas:
+      out:
+        type: NORMAL
+        destination: second
+  second:
+    compute: base=0.2 per_mb=0.05
+    output: fixed=64KB
+    output_datas:
+      result:
+        type: NORMAL
+        destination: $USER
+"""
+
+
+def test_parse_minimal_workflow():
+    wf = parse_workflow(MINIMAL)
+    assert wf.name == "demo"
+    assert wf.entry == "first"
+    assert set(wf.function_names()) == {"first", "second"}
+    edge = wf.functions["first"].edges[0]
+    assert edge.kind is EdgeKind.NORMAL
+    assert edge.destination == "second"
+
+
+def test_parse_compute_and_output_models():
+    wf = parse_workflow(MINIMAL)
+    second = wf.functions["second"]
+    assert second.profile.compute.base_core_s == pytest.approx(0.2)
+    assert second.profile.compute.per_input_mb_core_s == pytest.approx(0.05)
+    assert second.output.fixed_bytes == pytest.approx(64 * KB)
+
+
+def test_parse_size_literals():
+    assert parse_size("4MB") == 4 * MB
+    assert parse_size("64KB") == 64 * KB
+    assert parse_size("123") == 123.0
+    assert parse_size("2.5MB") == 2.5 * MB
+    with pytest.raises(DslError):
+        parse_size("4XB")
+
+
+def test_comments_and_blank_lines_ignored():
+    text = MINIMAL.replace(
+        "compute: base=0.1", "compute: base=0.1  # inline comment"
+    ) + "\n# trailing comment\n\n"
+    wf = parse_workflow(text)
+    assert wf.functions["first"].profile.compute.base_core_s == pytest.approx(0.1)
+
+
+def test_missing_workflow_name_rejected():
+    with pytest.raises(DslError, match="workflow_name"):
+        parse_workflow("dataflows:\n  a:\n    compute: base=0.1\n")
+
+
+def test_missing_dataflows_rejected():
+    with pytest.raises(DslError, match="dataflows"):
+        parse_workflow("workflow_name: x\n")
+
+
+def test_missing_compute_rejected():
+    text = """
+workflow_name: x
+dataflows:
+  a:
+    output: ratio=1
+"""
+    with pytest.raises(DslError, match="compute"):
+        parse_workflow(text)
+
+
+def test_unknown_compute_field_rejected():
+    text = MINIMAL.replace("base=0.1", "base=0.1 warp=9")
+    with pytest.raises(DslError, match="unknown fields"):
+        parse_workflow(text)
+
+
+def test_duplicate_key_rejected():
+    text = MINIMAL + "workflow_name: again\n"
+    with pytest.raises(DslError, match="duplicate"):
+        parse_workflow(text)
+
+
+def test_bad_line_reports_line_number():
+    text = "workflow_name: x\ndataflows:\n  a:\n    just words no colon here\n"
+    text = text.replace("no colon here", "no colon here".replace(":", ""))
+    with pytest.raises(DslError, match="line 4"):
+        parse_workflow(text)
+
+
+def test_switch_edge_with_builtin_selector():
+    text = """
+workflow_name: router
+dataflows:
+  route:
+    compute: base=0.05
+    output: ratio=1.0
+    output_datas:
+      decision:
+        type: SWITCH
+        destination: small | large
+        selector: round_robin
+  small:
+    compute: base=0.01
+    output: fixed=1KB
+    output_datas:
+      out:
+        type: NORMAL
+        destination: $USER
+  large:
+    compute: base=0.5
+    output: fixed=1KB
+    output_datas:
+      out:
+        type: NORMAL
+        destination: $USER
+"""
+    wf = parse_workflow(text)
+    edge = wf.functions["route"].edges[0]
+    assert edge.kind is EdgeKind.SWITCH
+    assert edge.destinations == ("small", "large")
+    assert edge.selector(0, 0) == 0
+    assert edge.selector(1, 0) == 1
+
+
+def test_unknown_selector_rejected():
+    text = MINIMAL.replace(
+        "type: NORMAL\n        destination: second",
+        "type: SWITCH\n        destination: second | second2\n        selector: coin",
+    )
+    with pytest.raises(DslError, match="selector"):
+        parse_workflow(text)
+
+
+def test_dangling_destination_fails_validation():
+    text = MINIMAL.replace("destination: second", "destination: ghost")
+    with pytest.raises(Exception, match="undefined|invalid"):
+        parse_workflow(text)
+
+
+def test_wordcount_dsl_builds():
+    from repro.apps import get_app
+
+    wf = get_app("wc").build()
+    assert wf.entry == "wordcount_start"
+    assert wf.topological_order() == [
+        "wordcount_start",
+        "wordcount_count",
+        "wordcount_merge",
+    ]
+    start_edge = wf.functions["wordcount_start"].edges[0]
+    assert start_edge.kind is EdgeKind.FOREACH
+    count_edge = wf.functions["wordcount_count"].edges[0]
+    assert count_edge.kind is EdgeKind.MERGE

@@ -1,0 +1,66 @@
+"""Smoke tests: every registered experiment runs and yields sane tables."""
+
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment, subsample
+from repro.experiments.registry import ExperimentResult
+
+#: The cheapest scale each experiment stays meaningful at.
+CHEAP = 0.25
+
+
+def test_registry_lists_every_paper_figure():
+    ids = experiment_ids()
+    for expected in [
+        "fig2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "fig19",
+    ]:
+        assert expected in ids
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        run_experiment("fig13", scale=0.0)
+    with pytest.raises(ValueError):
+        run_experiment("fig13", scale=1.5)
+
+
+def test_subsample_keeps_ends():
+    grid = [1, 2, 4, 8, 16, 32]
+    small = subsample(grid, 0.3)
+    assert small[0] == 1
+    assert small[-1] == 32
+    assert len(small) < len(grid)
+    assert subsample(grid, 1.0) == grid
+
+
+@pytest.mark.parametrize("experiment_id", ["fig2", "fig13", "fig15", "fig19"])
+def test_cheap_experiments_run_end_to_end(experiment_id):
+    results = run_experiment(experiment_id, scale=CHEAP)
+    assert results
+    for result in results:
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        assert len(result.headers) == len(result.rows[0])
+        rendered = result.render()
+        assert result.experiment_id in rendered
+
+
+def test_fig13_result_shape():
+    results = run_experiment("fig13", scale=1.0)
+    gaps = next(r for r in results if r.experiment_id == "fig13-gaps")
+    systems = [row[0] for row in gaps.rows]
+    assert systems == ["dataflower", "faasflow", "sonic"]
+
+
+def test_fig19_reductions_positive():
+    results = run_experiment("fig19", scale=1.0)
+    table = results[0]
+    reduction_index = list(table.headers).index("reduction_pct")
+    for row in table.rows:
+        assert row[reduction_index] > 0

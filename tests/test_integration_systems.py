@@ -1,0 +1,163 @@
+"""End-to-end integration: every system executes every benchmark."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerConfig,
+    DataFlowerSystem,
+    Environment,
+    FaasFlowSystem,
+    ProductionSystem,
+    RequestSpec,
+    SonicSystem,
+    round_robin,
+    single_node,
+)
+from repro.apps import APP_ORDER, get_app
+
+SYSTEMS = {
+    "production": ProductionSystem,
+    "faasflow": FaasFlowSystem,
+    "sonic": SonicSystem,
+    "dataflower": DataFlowerSystem,
+}
+
+
+def run_one(system_cls, app_name, **request_overrides):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = system_cls(env, cluster)
+    app = get_app(app_name)
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    request = RequestSpec(
+        request_id="r1",
+        input_bytes=request_overrides.get("input_bytes", app.default_input_bytes),
+        fanout=request_overrides.get("fanout", app.default_fanout),
+    )
+    done = system.submit(workflow.name, request)
+    record = env.run(until=done)
+    return env, cluster, system, record
+
+
+@pytest.mark.parametrize("system_name", list(SYSTEMS))
+@pytest.mark.parametrize("app_name", APP_ORDER)
+def test_single_request_completes(system_name, app_name):
+    env, cluster, system, record = run_one(SYSTEMS[system_name], app_name)
+    assert record.completed, record.error
+    assert 0 < record.latency < 60.0
+    # Every task ran exactly once and is timestamped sanely.
+    for task in record.tasks:
+        assert task.exec_end >= task.exec_start >= 0
+        assert task.trigger_time >= task.ready_time
+
+
+@pytest.mark.parametrize("app_name", APP_ORDER)
+def test_dataflower_is_fastest_solo(app_name):
+    latencies = {}
+    for name, cls in SYSTEMS.items():
+        _, _, _, record = run_one(cls, app_name)
+        latencies[name] = record.latency
+    assert latencies["dataflower"] < latencies["faasflow"], latencies
+    assert latencies["dataflower"] < latencies["sonic"], latencies
+    assert latencies["dataflower"] < latencies["production"], latencies
+
+
+def test_production_platform_is_slowest_on_wc():
+    lat = {}
+    for name in ["production", "faasflow"]:
+        _, _, _, record = run_one(SYSTEMS[name], "wc")
+        lat[name] = record.latency
+    # The centralized orchestrator's 63 ms per trigger dominates wc.
+    assert lat["production"] > lat["faasflow"]
+
+
+def test_trigger_overhead_ordering():
+    """DataFlower's data-availability triggering beats control flow."""
+    overheads = {}
+    for name, cls in SYSTEMS.items():
+        _, _, _, record = run_one(cls, "wc")
+        non_entry = [t for t in record.tasks if t.function != "wordcount_start"]
+        overheads[name] = sum(t.trigger_overhead for t in non_entry) / len(non_entry)
+    assert overheads["dataflower"] < overheads["faasflow"] < overheads["production"]
+
+
+@pytest.mark.parametrize("system_name", list(SYSTEMS))
+def test_memory_usage_accounted(system_name):
+    env, cluster, system, record = run_one(SYSTEMS[system_name], "wc")
+    env.run(until=env.now + 1.0)
+    assert cluster.total_memory_gbs() > 0
+
+
+def test_dataflower_single_node_local_pipes():
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(
+        env, cluster, DataFlowerConfig(input_local=True)
+    )
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, single_node(workflow, cluster.workers))
+    done = system.submit(
+        workflow.name,
+        RequestSpec("r1", input_bytes=app.default_input_bytes, fanout=4),
+    )
+    record = env.run(until=done)
+    assert record.completed
+    # Inter-function data never leaves the node: only the final result
+    # (merge -> $USER at the gateway) may cross the network.
+    assert system.router.stream_pushes <= 1
+    assert system.router.local_pushes + system.router.socket_pushes >= 5
+
+
+def test_dataflower_sink_memory_returns_to_zero():
+    env, cluster, system, record = run_one(DataFlowerSystem, "wc")
+    assert record.completed
+    for engine in system.engines.values():
+        assert engine.sink.resident_bytes() == 0
+        assert engine.sink.entry_count() == 0
+
+
+def test_dataflower_overlaps_compute_and_transfer():
+    """The DLU starts pushing before the FLU completes (streaming)."""
+    from repro.cluster.telemetry import overlap_seconds
+
+    env, cluster, system, record = run_one(DataFlowerSystem, "vid")
+    assert record.completed
+    total_overlap = 0.0
+    for deployment in system.deployments.values():
+        for dispatcher in deployment.dispatchers.values():
+            for container in dispatcher.pool.containers:
+                cpu = container.intervals.labelled("cpu")
+                net = container.intervals.labelled("net")
+                total_overlap += overlap_seconds(cpu, net)
+    assert total_overlap > 0
+
+
+def test_faasflow_cache_released_at_request_end():
+    env, cluster, system, record = run_one(FaasFlowSystem, "wc")
+    assert record.completed
+    for node in cluster.workers:
+        assert node.cache_usage.level == pytest.approx(0.0)
+
+
+def test_multiple_concurrent_requests():
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster)
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    events = [
+        system.submit(
+            workflow.name,
+            RequestSpec(f"r{i}", input_bytes=app.default_input_bytes, fanout=4),
+        )
+        for i in range(10)
+    ]
+    env.run(until=env.all_of(events))
+    assert all(r.completed for r in system.records)
+    latencies = [r.latency for r in system.records]
+    assert max(latencies) < 30.0

@@ -1,0 +1,333 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+    RngRegistry,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [2.5]
+    assert env.now == 2.5
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(waiter(env, 3, "c"))
+    env.process(waiter(env, 1, "a"))
+    env.process(waiter(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(waiter(env, tag))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value * 2
+
+    proc = env.process(parent(env))
+    env.run()
+    assert proc.value == 84
+
+
+def test_run_until_time_stops_midway():
+    env = Environment()
+    seen = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            seen.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert seen == [1, 2, 3]
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return "finished"
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == "finished"
+    assert env.now == 5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10)
+    with pytest.raises(ValueError):
+        env.run(until=5)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    got = []
+
+    def waiter(env):
+        value = yield gate
+        got.append(value)
+
+    def opener(env):
+        yield env.timeout(2)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert got == ["open"]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(RuntimeError):
+        _ = env.event().value
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_all_of_collects_all_values():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        values = yield t1 & t2
+        results.append(sorted(values.values()))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [["a", "b"]]
+    assert env.now == 2
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(1, value="fast")
+        values = yield t1 | t2
+        results.append(list(values.values()))
+
+    env.process(proc(env))
+    env.run(until=2)
+    assert results == [["fast"]]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield env.all_of([])
+        results.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == [{}]
+
+
+def test_condition_on_already_processed_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t = env.timeout(1, value="x")
+        yield t
+        # t is processed; a condition on it must fire immediately.
+        values = yield env.all_of([t])
+        results.append(list(values.values()))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [["x"]]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    victim = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(3)
+        victim.interrupt("wake up")
+
+    env.process(interrupter(env))
+    env.run()
+    assert causes == [(3, "wake up")]
+
+
+def test_interrupt_terminated_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    victim = env.process(quick(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        with pytest.raises(RuntimeError):
+            victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            trace.append("interrupted")
+        yield env.timeout(1)
+        trace.append(env.now)
+
+    victim = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert trace == ["interrupted", 3]
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    proc = env.process(bad(env))
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+    assert proc.triggered
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a = RngRegistry(seed=7)
+    b = RngRegistry(seed=7)
+    assert a.stream("x").random() == b.stream("x").random()
+    c = RngRegistry(seed=7)
+    d = RngRegistry(seed=8)
+    assert c.stream("x").random() != d.stream("x").random()
+    e = RngRegistry(seed=7)
+    assert e.stream("x").random() != e.stream("y").random()
+
+
+def test_rng_fork_is_independent():
+    root = RngRegistry(seed=3)
+    fork = root.fork("child")
+    assert root.stream("s").random() != fork.stream("s").random()

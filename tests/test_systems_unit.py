@@ -1,0 +1,225 @@
+"""Unit tests for placement policies, dispatchers, and eviction."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DataFlowerSystem,
+    Environment,
+    FaasFlowSystem,
+    RequestSpec,
+    SonicSystem,
+    round_robin,
+    single_node,
+)
+from repro.apps import get_app
+from repro.cluster import ContainerPool, ContainerSpec
+from repro.systems.base import FunctionDispatcher
+from repro.systems.placement import get_policy, hashed, offset_round_robin
+
+
+def make_cluster():
+    env = Environment()
+    return env, Cluster(env, ClusterConfig())
+
+
+# -- placement -----------------------------------------------------------------
+
+
+def test_round_robin_spreads_in_topological_order():
+    env, cluster = make_cluster()
+    workflow = get_app("wc").build()
+    placement = round_robin(workflow, cluster.workers)
+    assert placement["wordcount_start"].name == "worker1"
+    assert placement["wordcount_count"].name == "worker2"
+    assert placement["wordcount_merge"].name == "worker3"
+
+
+def test_single_node_packs_everything():
+    env, cluster = make_cluster()
+    workflow = get_app("vid").build()
+    placement = single_node(workflow, cluster.workers)
+    assert len({node.name for node in placement.values()}) == 1
+
+
+def test_offset_round_robin_shifts():
+    env, cluster = make_cluster()
+    workflow = get_app("wc").build()
+    base = round_robin(workflow, cluster.workers)
+    shifted = offset_round_robin(1)(workflow, cluster.workers)
+    assert shifted["wordcount_start"].name == "worker2"
+    assert base["wordcount_start"].name != shifted["wordcount_start"].name
+
+
+def test_hashed_is_deterministic():
+    env, cluster = make_cluster()
+    workflow = get_app("svd").build()
+    assert hashed(workflow, cluster.workers) == hashed(workflow, cluster.workers)
+
+
+def test_policy_registry():
+    assert get_policy("round_robin") is round_robin
+    with pytest.raises(KeyError):
+        get_policy("banana")
+
+
+def test_placement_requires_workers():
+    workflow = get_app("wc").build()
+    with pytest.raises(ValueError):
+        round_robin(workflow, [])
+
+
+def test_deployment_rejects_partial_placement():
+    env, cluster = make_cluster()
+    system = DataFlowerSystem(env, cluster)
+    workflow = get_app("wc").build()
+    with pytest.raises(ValueError, match="missing"):
+        system.deploy(workflow, {"wordcount_start": cluster.workers[0]})
+
+
+def test_duplicate_deployment_rejected():
+    env, cluster = make_cluster()
+    system = DataFlowerSystem(env, cluster)
+    workflow = get_app("wc").build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    with pytest.raises(ValueError, match="already deployed"):
+        system.deploy(workflow, round_robin(workflow, cluster.workers))
+
+
+def test_submit_to_unknown_workflow():
+    env, cluster = make_cluster()
+    system = DataFlowerSystem(env, cluster)
+    with pytest.raises(KeyError):
+        system.submit("ghost", RequestSpec("r", input_bytes=1))
+
+
+# -- dispatcher -----------------------------------------------------------------
+
+
+def make_dispatcher(env, cluster, memory_mb=128):
+    pool = ContainerPool(
+        env, cluster.workers[0], "f", ContainerSpec(memory_mb=memory_mb),
+        cold_start_s=0.1, env_setup_s=0.1,
+    )
+    return FunctionDispatcher(env, pool)
+
+
+def test_dispatcher_scales_out_on_demand():
+    env, cluster = make_cluster()
+    dispatcher = make_dispatcher(env, cluster)
+    seen = []
+    for i in range(3):
+        dispatcher.submit(lambda c, i=i: seen.append((i, c.container_id)))
+    env.run(until=1.0)
+    assert len(seen) == 3
+    assert dispatcher.pool.cold_starts == 3
+
+
+def test_dispatcher_reuses_idle_containers():
+    env, cluster = make_cluster()
+    dispatcher = make_dispatcher(env, cluster)
+    order = []
+
+    def job(container):
+        order.append(container.container_id)
+
+        def work():
+            yield env.timeout(0.05)
+            dispatcher.release(container)
+
+        env.process(work())
+
+    dispatcher.submit(job)
+    env.run(until=1.0)
+    dispatcher.submit(job)
+    env.run(until=2.0)
+    assert len(order) == 2
+    assert order[0] == order[1]  # warm reuse, no second cold start
+    assert dispatcher.pool.cold_starts == 1
+
+
+def test_dispatcher_blocked_release_delays_reuse():
+    env, cluster = make_cluster()
+    dispatcher = make_dispatcher(env, cluster)
+    starts = []
+
+    def job(container):
+        starts.append(env.now)
+        dispatcher.release(container, delay_s=5.0)  # pressure block
+
+    dispatcher.submit(job)
+    env.run(until=1.0)
+    dispatcher.submit(lambda c: starts.append(env.now))
+    env.run(until=3.0)
+    # A second container boots (0.2 s) rather than waiting 5 s.
+    assert len(starts) == 2
+    assert starts[1] < 2.0
+    assert dispatcher.pool.cold_starts == 2
+
+
+def test_eviction_frees_capacity_for_other_functions():
+    from repro.cluster import ScalingPolicy
+
+    env, cluster = make_cluster()
+    node = cluster.workers[0]
+    # Fill the node's memory with big idle containers of function A
+    # (memory-heavy, CPU-light spec so memory is the binding resource).
+    spec = ContainerSpec(
+        memory_mb=int(node.memory_total / (1024 * 1024) // 4),
+        scaling=ScalingPolicy(cores_per_base=0.001),
+    )
+    pool_a = ContainerPool(env, node, "a", spec, cold_start_s=0.0, env_setup_s=0.0)
+    for _ in range(4):
+        env.run(until=pool_a.start_new())
+    assert not node.can_fit(0.1, spec.memory_bytes)
+
+    pool_b = ContainerPool(env, node, "b", spec, cold_start_s=0.0, env_setup_s=0.0)
+    dispatcher_b = FunctionDispatcher(env, pool_b)
+    served = []
+    dispatcher_b.submit(lambda c: served.append(c.container_id))
+    env.run(until=1.0)
+    assert served, "eviction failed to free capacity"
+    assert node.evictions >= 1
+    assert pool_a.size < 4
+
+
+def test_eviction_respects_recycle_guard():
+    from repro.cluster import ScalingPolicy
+
+    env, cluster = make_cluster()
+    node = cluster.workers[0]
+    spec = ContainerSpec(
+        memory_mb=int(node.memory_total / (1024 * 1024) // 2),
+        scaling=ScalingPolicy(cores_per_base=0.001),
+    )
+    pool_a = ContainerPool(
+        env, node, "a", spec, cold_start_s=0.0, env_setup_s=0.0,
+        recycle_guard=lambda c: False,  # e.g. DLU still draining
+    )
+    for _ in range(2):
+        env.run(until=pool_a.start_new())
+    assert not node.try_reclaim(spec.cpu_cores, spec.memory_bytes)
+    assert pool_a.size == 2
+
+
+# -- cross-system sanity ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("system_cls", [FaasFlowSystem, SonicSystem])
+def test_control_flow_tasks_strictly_ordered(system_cls):
+    """Control flow: a consumer never starts before its producer ends."""
+    env, cluster = make_cluster()
+    system = system_cls(env, cluster)
+    app = get_app("wc")
+    workflow = app.build()
+    system.deploy(workflow, round_robin(workflow, cluster.workers))
+    done = system.submit(
+        workflow.name,
+        RequestSpec("r", input_bytes=app.default_input_bytes, fanout=4),
+    )
+    record = env.run(until=done)
+    start_end = record.task("wordcount_start").exec_end
+    for task in record.tasks:
+        if task.function == "wordcount_count":
+            assert task.exec_start >= start_end

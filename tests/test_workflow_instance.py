@@ -1,0 +1,156 @@
+"""Tests for per-request task-graph expansion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.workflow import (
+    ComputeModel,
+    EdgeKind,
+    OutputModel,
+    RequestSpec,
+    TaskGraph,
+    USER,
+    Workflow,
+)
+
+
+def fan_workflow():
+    wf = Workflow("fan")
+    wf.add_function("start", ComputeModel(0.1), OutputModel(input_ratio=1.0))
+    wf.add_function("work", ComputeModel(0.1), OutputModel(fixed_bytes=100))
+    wf.add_function("reduce", ComputeModel(0.1), OutputModel(fixed_bytes=10))
+    wf.connect("start", "work", EdgeKind.FOREACH, "items")
+    wf.connect("work", "reduce", EdgeKind.MERGE, "partials")
+    wf.connect("reduce", USER, EdgeKind.NORMAL, "out")
+    return wf
+
+
+def test_foreach_expands_to_fanout_tasks():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=1000, fanout=4))
+    assert len(graph.tasks_of("work")) == 4
+    assert len(graph.tasks_of("start")) == 1
+    assert len(graph.tasks_of("reduce")) == 1
+
+
+def test_foreach_splits_bytes_evenly():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=1000, fanout=4))
+    for task in graph.tasks_of("work"):
+        assert task.input_bytes == pytest.approx(250.0)
+
+
+def test_merge_collects_all_branches():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=1000, fanout=5))
+    reduce_task = graph.tasks_of("reduce")[0]
+    assert len(reduce_task.inputs) == 5
+    assert reduce_task.input_bytes == pytest.approx(500.0)  # 5 x fixed 100
+
+
+def test_terminal_task_detection():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=10, fanout=2))
+    assert [t.function for t in graph.terminal_tasks] == ["reduce"]
+
+
+def test_entry_receives_request_input():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=4096, fanout=2))
+    start = graph.tasks_of("start")[0]
+    assert start.input_bytes == 4096
+    assert start.is_entry
+
+
+def test_output_sizes_propagate():
+    wf = Workflow("chain")
+    wf.add_function("a", ComputeModel(0.1), OutputModel(input_ratio=0.5))
+    wf.add_function("b", ComputeModel(0.1), OutputModel(input_ratio=2.0))
+    wf.connect("a", "b")
+    wf.connect("b", USER)
+    graph = TaskGraph(wf, RequestSpec("r", input_bytes=1000))
+    assert graph.tasks_of("a")[0].output_bytes == pytest.approx(500)
+    assert graph.tasks_of("b")[0].input_bytes == pytest.approx(500)
+    assert graph.tasks_of("b")[0].output_bytes == pytest.approx(1000)
+
+
+def test_switch_selects_single_destination():
+    wf = Workflow("switchy")
+    wf.add_function("route", ComputeModel(0.1), OutputModel(input_ratio=1.0))
+    wf.add_function("left", ComputeModel(0.1), OutputModel(fixed_bytes=1))
+    wf.add_function("right", ComputeModel(0.1), OutputModel(fixed_bytes=1))
+    wf.connect_switch("route", ["left", "right"], selector=lambda seed, b: seed % 2)
+    wf.connect("left", USER)
+    wf.connect("right", USER)
+
+    even = TaskGraph(wf, RequestSpec("r", input_bytes=10, seed=0))
+    assert len(even.tasks_of("left")) == 1
+    assert len(even.tasks_of("right")) == 0
+
+    odd = TaskGraph(wf, RequestSpec("r", input_bytes=10, seed=1))
+    assert len(odd.tasks_of("left")) == 0
+    assert len(odd.tasks_of("right")) == 1
+
+
+def test_switch_out_of_range_selector():
+    wf = Workflow("switchy")
+    wf.add_function("route", ComputeModel(0.1), OutputModel(input_ratio=1.0))
+    wf.add_function("l", ComputeModel(0.1), OutputModel())
+    wf.add_function("r", ComputeModel(0.1), OutputModel())
+    wf.connect_switch("route", ["l", "r"], selector=lambda seed, b: 7)
+    wf.connect("l", USER)
+    wf.connect("r", USER)
+    with pytest.raises(ValueError, match="out-of-range"):
+        TaskGraph(wf, RequestSpec("r", input_bytes=10))
+
+
+def test_request_spec_validation():
+    with pytest.raises(ValueError):
+        RequestSpec("r", input_bytes=-1)
+    with pytest.raises(ValueError):
+        RequestSpec("r", input_bytes=1, fanout=0)
+
+
+def test_task_edge_keys_are_unique():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=100, fanout=6))
+    keys = [edge.key for edge in graph.edges]
+    assert len(keys) == len(set(keys))
+
+
+def test_tasks_listed_in_topological_order():
+    graph = TaskGraph(fan_workflow(), RequestSpec("r1", input_bytes=100, fanout=3))
+    position = {task.task_id: i for i, task in enumerate(graph.tasks)}
+    for edge in graph.edges:
+        if edge.dst is not None:
+            assert position[edge.src.task_id] < position[edge.dst.task_id]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fanout=st.integers(min_value=1, max_value=32),
+    input_bytes=st.floats(min_value=1.0, max_value=1e8),
+)
+def test_property_fan_workflow_byte_conservation(fanout, input_bytes):
+    """FOREACH splits conserve bytes; every task is connected."""
+    graph = TaskGraph(
+        fan_workflow(), RequestSpec("r", input_bytes=input_bytes, fanout=fanout)
+    )
+    start = graph.tasks_of("start")[0]
+    split_total = sum(
+        e.nbytes for e in start.outputs if e.dst is not None
+    )
+    assert split_total == pytest.approx(start.output_bytes)
+    assert len(graph.tasks) == fanout + 2
+    for task in graph.tasks:
+        assert task.is_entry or task.inputs
+
+
+@settings(max_examples=20, deadline=None)
+@given(fanout=st.integers(min_value=1, max_value=16))
+def test_property_paper_apps_expand_cleanly(fanout):
+    """All four benchmarks instantiate for any reasonable fan-out."""
+    for name in ["img", "vid", "svd", "wc"]:
+        app = get_app(name)
+        graph = TaskGraph(
+            app.build(),
+            RequestSpec("r", input_bytes=app.default_input_bytes, fanout=fanout),
+        )
+        assert graph.terminal_tasks
+        assert graph.total_transfer_bytes() > 0

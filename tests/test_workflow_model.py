@@ -1,0 +1,158 @@
+"""Tests for the workflow DAG model and validation."""
+
+import pytest
+
+from repro.workflow import (
+    ComputeModel,
+    EdgeKind,
+    OutputModel,
+    USER,
+    Workflow,
+    WorkflowValidationError,
+    validate,
+)
+
+
+def linear_workflow():
+    wf = Workflow("linear")
+    wf.add_function("a", ComputeModel(0.1), OutputModel(input_ratio=1.0))
+    wf.add_function("b", ComputeModel(0.1), OutputModel(input_ratio=1.0))
+    wf.add_function("c", ComputeModel(0.1), OutputModel(fixed_bytes=10))
+    wf.connect("a", "b")
+    wf.connect("b", "c")
+    wf.connect("c", USER)
+    return wf
+
+
+def test_topological_order_linear():
+    wf = linear_workflow()
+    assert wf.topological_order() == ["a", "b", "c"]
+
+
+def test_entry_defaults_to_first_function():
+    wf = linear_workflow()
+    assert wf.entry == "a"
+
+
+def test_duplicate_function_rejected():
+    wf = Workflow("dup")
+    wf.add_function("a", ComputeModel(0.1), OutputModel())
+    with pytest.raises(ValueError, match="duplicate"):
+        wf.add_function("a", ComputeModel(0.1), OutputModel())
+
+
+def test_user_reserved_name():
+    wf = Workflow("bad")
+    with pytest.raises(ValueError):
+        wf.add_function(USER, ComputeModel(0.1), OutputModel())
+
+
+def test_connect_unknown_source():
+    wf = Workflow("w")
+    with pytest.raises(KeyError):
+        wf.connect("ghost", "other")
+
+
+def test_cycle_detection():
+    wf = Workflow("cyclic")
+    wf.add_function("a", ComputeModel(0.1), OutputModel(input_ratio=1))
+    wf.add_function("b", ComputeModel(0.1), OutputModel(input_ratio=1))
+    wf.connect("a", "b")
+    wf.connect("b", "a")
+    with pytest.raises(ValueError, match="cycle"):
+        wf.topological_order()
+
+
+def test_edge_to_undefined_function_detected():
+    wf = Workflow("dangling")
+    wf.add_function("a", ComputeModel(0.1), OutputModel())
+    wf.connect("a", "ghost")
+    with pytest.raises(WorkflowValidationError, match="undefined"):
+        validate(wf)
+
+
+def test_unreachable_function_detected():
+    wf = linear_workflow()
+    wf.add_function("island", ComputeModel(0.1), OutputModel())
+    wf.connect("island", USER)
+    with pytest.raises(WorkflowValidationError, match="unreachable"):
+        validate(wf)
+
+
+def test_empty_workflow_invalid():
+    with pytest.raises(WorkflowValidationError, match="no functions"):
+        validate(Workflow("empty"))
+
+
+def test_switch_requires_selector():
+    wf = Workflow("sw")
+    wf.add_function("a", ComputeModel(0.1), OutputModel(input_ratio=1))
+    wf.add_function("b", ComputeModel(0.1), OutputModel())
+    wf.add_function("c", ComputeModel(0.1), OutputModel())
+    wf.functions["a"].add_edge("out", EdgeKind.SWITCH, ["b", "c"])
+    wf.connect("b", USER)
+    wf.connect("c", USER)
+    with pytest.raises(WorkflowValidationError, match="selector"):
+        validate(wf)
+
+
+def test_switch_with_selector_validates():
+    wf = Workflow("sw")
+    wf.add_function("a", ComputeModel(0.1), OutputModel(input_ratio=1))
+    wf.add_function("b", ComputeModel(0.1), OutputModel())
+    wf.add_function("c", ComputeModel(0.1), OutputModel())
+    wf.connect_switch("a", ["b", "c"], selector=lambda seed, branch: seed % 2)
+    wf.connect("b", USER)
+    wf.connect("c", USER)
+    validate(wf)
+
+
+def test_switch_needs_two_candidates():
+    wf = Workflow("sw")
+    wf.add_function("a", ComputeModel(0.1), OutputModel())
+    with pytest.raises(ValueError, match="two candidates"):
+        wf.connect_switch("a", ["b"], selector=lambda s, b: 0)
+
+
+def test_normal_edge_single_destination_enforced():
+    from repro.workflow.model import DataEdge
+
+    with pytest.raises(ValueError, match="exactly one"):
+        DataEdge("a", "out", EdgeKind.NORMAL, ("b", "c"))
+
+
+def test_predecessors_and_successors():
+    wf = linear_workflow()
+    preds = wf.predecessors("b")
+    assert len(preds) == 1
+    assert preds[0][0].name == "a"
+    assert [e.destination for e in wf.successors("b")] == ["c"]
+
+
+def test_edge_kind_parse():
+    assert EdgeKind.parse("foreach") is EdgeKind.FOREACH
+    assert EdgeKind.parse(" MERGE ") is EdgeKind.MERGE
+    with pytest.raises(ValueError, match="unknown edge kind"):
+        EdgeKind.parse("banana")
+
+
+def test_compute_model_validation():
+    with pytest.raises(ValueError):
+        ComputeModel(base_core_s=-1)
+    with pytest.raises(ValueError):
+        ComputeModel(jitter=1.5)
+
+
+def test_output_model_math():
+    model = OutputModel(fixed_bytes=100, input_ratio=0.5)
+    assert model.output_bytes(1000) == 600
+
+
+def test_compute_model_jitter_uses_rng():
+    import random
+
+    model = ComputeModel(base_core_s=1.0, jitter=0.2)
+    rng = random.Random(1)
+    values = {model.core_seconds(0, rng) for _ in range(5)}
+    assert len(values) > 1
+    assert model.core_seconds(0) == 1.0  # no rng -> deterministic
