@@ -1,0 +1,34 @@
+# A minimal Figure-7 DSL workflow for `repro validate examples/pipeline.dsl`.
+workflow_name: pipeline
+dataflows:
+  pipe_split:
+    memory_mb: 256
+    compute: base=0.01 per_mb=0.002
+    output: ratio=1.0
+    input_datas:
+      source: $USER.input
+    output_datas:
+      chunks:
+        type: FOREACH
+        destination: pipe_work
+  pipe_work:
+    memory_mb: 256
+    compute: base=0.02 per_mb=0.010
+    output: fixed=128KB
+    input_datas:
+      source: pipe_split.chunks
+    output_datas:
+      results:
+        type: MERGE
+        destination: pipe_join
+  pipe_join:
+    memory_mb: 256
+    compute: base=0.01 per_mb=0.004
+    output: fixed=64KB
+    input_datas:
+      source: pipe_work.results
+    output_datas:
+      output:
+        type: NORMAL
+        destination: $USER
+entry: pipe_split

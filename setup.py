@@ -1,3 +1,14 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="dataflower-repro",
+    version="1.0.0",
+    description=(
+        "Simulator-based reproduction of DataFlower: Exploiting the "
+        "Data-flow Paradigm for Serverless Workflow Orchestration"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

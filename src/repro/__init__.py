@@ -24,12 +24,17 @@ Quickstart::
 from .cluster import Cluster, ClusterConfig, ContainerSpec, GB, KB, MB
 from .core import DataFlowerConfig, DataFlowerSystem, FailureInjector
 from .loadgen import (
+    InvocationTrace,
     RunResult,
+    TraceEvent,
+    TraceRunResult,
     burst,
     constant,
     default_request_factory,
     run_closed_loop,
     run_open_loop,
+    run_trace,
+    synthesize_trace,
 )
 from .metrics import LatencySummary, RequestRecord, TaskRecord, render_table
 from .sim import Environment
@@ -69,6 +74,7 @@ __all__ = [
     "FaasFlowSystem",
     "FailureInjector",
     "GB",
+    "InvocationTrace",
     "KB",
     "LatencySummary",
     "MB",
@@ -83,6 +89,8 @@ __all__ = [
     "SystemConfig",
     "TaskGraph",
     "TaskRecord",
+    "TraceEvent",
+    "TraceRunResult",
     "Workflow",
     "burst",
     "constant",
@@ -92,6 +100,8 @@ __all__ = [
     "round_robin",
     "run_closed_loop",
     "run_open_loop",
+    "run_trace",
     "single_node",
+    "synthesize_trace",
     "__version__",
 ]

@@ -1,5 +1,26 @@
-"""The paper's four benchmark workflows (vid, img, svd, wc)."""
+"""Benchmark applications: the paper's four plus post-paper additions.
 
-from .registry import APP_ORDER, AppSpec, all_apps, get_app
+Paper set (:data:`APP_ORDER`): img, vid, svd, wc.  Extensions
+(:data:`EXTRA_APPS`): ml_ensemble (inference ensemble with a voting
+fan-in) and etl (two-level shuffle analytics DAG).
+"""
 
-__all__ = ["APP_ORDER", "AppSpec", "all_apps", "get_app"]
+from .registry import (
+    APP_ORDER,
+    EXTRA_APPS,
+    AppSpec,
+    all_apps,
+    app_names,
+    get_app,
+    registered_apps,
+)
+
+__all__ = [
+    "APP_ORDER",
+    "EXTRA_APPS",
+    "AppSpec",
+    "all_apps",
+    "app_names",
+    "get_app",
+    "registered_apps",
+]

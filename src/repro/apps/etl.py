@@ -1,0 +1,79 @@
+"""ETL/analytics DAG (etl): two-level shuffle with a reduce-heavy fan-in.
+
+A batch-analytics workload shaped like a two-stage MapReduce job:
+``ingest`` partitions the raw extract (FOREACH), ``clean`` normalizes each
+partition roughly size-preservingly, the partitions MERGE into ``shuffle``
+which regroups every record by key — the reduce-heavy step: its input is
+the whole cleaned dataset — then FOREACHes the regrouped buckets out to
+``reduce`` workers whose aggregates MERGE into a small final ``report``.
+
+The double fan-out/fan-in makes etl the most MERGE-stressed app in the
+registry: the shuffle function ingests ``fanout`` full-size partitions in
+one invocation, which exercises sink wait-match pressure and the
+pipe-connector backpressure path harder than wc's single reduce.
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import KB, MB
+from ..workflow.model import EdgeKind, Workflow
+from ..workflow.profiles import ComputeModel, OutputModel
+from ..workflow.validation import validate
+
+#: Default raw-extract size per request.
+DEFAULT_INPUT_BYTES = 8 * MB
+#: Default partition count (both map and reduce width).
+DEFAULT_FANOUT = 4
+
+
+def build() -> Workflow:
+    """The etl workflow (ingest -> clean xN -> shuffle -> reduce xN -> report)."""
+    workflow = Workflow("etl")
+    workflow.default_fanout = DEFAULT_FANOUT
+
+    workflow.add_function(
+        "etl_ingest",
+        compute=ComputeModel(base_core_s=0.01, per_input_mb_core_s=0.004),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=256,
+        first_output_at=0.2,
+    )
+    workflow.add_function(
+        "etl_clean",
+        compute=ComputeModel(base_core_s=0.01, per_input_mb_core_s=0.012),
+        output=OutputModel(input_ratio=0.9),
+        memory_mb=256,
+        first_output_at=0.3,
+    )
+    # The shuffle sees every cleaned partition at once (reduce-heavy MERGE)
+    # and re-emits the full dataset regrouped by key.
+    workflow.add_function(
+        "etl_shuffle",
+        compute=ComputeModel(base_core_s=0.02, per_input_mb_core_s=0.010),
+        output=OutputModel(input_ratio=1.0),
+        memory_mb=512,
+        first_output_at=0.25,
+    )
+    workflow.add_function(
+        "etl_reduce",
+        compute=ComputeModel(base_core_s=0.02, per_input_mb_core_s=0.020),
+        output=OutputModel(fixed_bytes=128 * KB),
+        memory_mb=256,
+        first_output_at=0.4,
+    )
+    workflow.add_function(
+        "etl_report",
+        compute=ComputeModel(base_core_s=0.01, per_input_mb_core_s=0.002),
+        output=OutputModel(fixed_bytes=64 * KB),
+        memory_mb=256,
+        first_output_at=0.5,
+    )
+
+    workflow.connect("etl_ingest", "etl_clean", EdgeKind.FOREACH, "partitions")
+    workflow.connect("etl_clean", "etl_shuffle", EdgeKind.MERGE, "cleaned")
+    workflow.connect("etl_shuffle", "etl_reduce", EdgeKind.FOREACH, "buckets")
+    workflow.connect("etl_reduce", "etl_report", EdgeKind.MERGE, "aggregates")
+    workflow.connect("etl_report", "$USER", EdgeKind.NORMAL, "report")
+    workflow.entry = "etl_ingest"
+    validate(workflow)
+    return workflow

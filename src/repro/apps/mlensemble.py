@@ -1,0 +1,70 @@
+"""ML-inference ensemble (ml_ensemble): preprocess -> N models -> vote.
+
+A serving pattern the paper's four benchmarks do not cover: one request
+fans the same preprocessed features out to an ensemble of model replicas
+(FOREACH), each replica runs a heavyweight inference pass, and a cheap
+majority-vote reducer merges the per-model verdicts (MERGE).  Compute
+dominates inside the models while the fan-out/fan-in edges stay small, so
+the app sits between img (linear, compute-bound) and wc
+(communication-bound) on the Figure 2(a) spectrum — a useful probe for
+pressure-aware scaling under wide fan-outs.
+
+The definition is written in the Figure-7 DSL to exercise the production
+parsing path end to end, like :mod:`repro.apps.wordcount`.
+"""
+
+from __future__ import annotations
+
+from ..cluster.telemetry import MB
+from ..workflow.dsl import parse_workflow
+from ..workflow.model import Workflow
+
+#: Default request input size (one image / feature batch).
+DEFAULT_INPUT_BYTES = 2 * MB
+#: Default ensemble width (number of model replicas voted over).
+DEFAULT_FANOUT = 3
+
+_DSL = """
+workflow_name: ml_ensemble
+dataflows:
+  ens_preprocess:
+    memory_mb: 512
+    compute: base=0.04 per_mb=0.020
+    output: ratio=0.9
+    first_output_at: 0.3
+    input_datas:
+      source: $USER.input
+    output_datas:
+      features:
+        type: FOREACH
+        destination: ens_model
+  ens_model:
+    memory_mb: 1024
+    compute: base=0.25 per_mb=0.080
+    output: fixed=32KB
+    first_output_at: 0.7
+    input_datas:
+      source: ens_preprocess.features
+    output_datas:
+      verdict:
+        type: MERGE
+        destination: ens_vote
+  ens_vote:
+    memory_mb: 256
+    compute: base=0.02 per_mb=0.004
+    output: fixed=16KB
+    input_datas:
+      source: ens_model.verdict
+    output_datas:
+      output:
+        type: NORMAL
+        destination: $USER
+entry: ens_preprocess
+"""
+
+
+def build() -> Workflow:
+    """The ml_ensemble workflow (preprocess -> model xN -> vote)."""
+    workflow = parse_workflow(_DSL)
+    workflow.default_fanout = DEFAULT_FANOUT
+    return workflow

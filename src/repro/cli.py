@@ -1,0 +1,389 @@
+"""The unified ``repro`` command-line front-end.
+
+One entry point for everything the reproduction can do::
+
+    repro run --app wc --system dataflower --arrivals constant:60:20
+    repro run --app ml_ensemble --format json \\
+        --arrivals trace:examples/traces/mixed_tenants.csv
+    repro experiments fig11 --scale 0.25
+    repro apps
+    repro systems
+    repro validate my_workflow.dsl
+
+Installed as a ``console_scripts`` entry (``repro``) and runnable as
+``python -m repro``.  Subcommands:
+
+``run``
+    Drive any registered app on any system under an arrival pattern and
+    print a latency/usage report (table or JSON).  Arrival specs:
+
+    * ``constant:<rpm>:<duration_s>`` — paced open loop;
+    * ``burst:<base_rpm>:<burst_rpm>:<base_s>:<burst_s>`` — Figure 15 step;
+    * ``closed:<clients>:<duration_s>`` — synchronous closed loop;
+    * ``trace:<path.json|path.csv>`` — multi-tenant trace replay
+      (see :mod:`repro.loadgen.trace`).
+
+``experiments``
+    List or re-run the paper-figure registry (wraps
+    ``python -m repro.experiments``).
+
+``apps`` / ``systems``
+    Show the registries the ``run`` flags accept.
+
+``validate``
+    Lint a Figure-7 DSL workflow file and print its structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import get_app, registered_apps
+from .experiments.common import make_setup, system_names
+from .experiments.registry import experiment_ids, run_experiment
+from .loadgen.arrivals import burst, constant
+from .loadgen.runner import RunResult, run_closed_loop, run_open_loop
+from .loadgen.trace import InvocationTrace, run_trace
+from .metrics.report import render_json, render_table
+from .workflow.dsl import DslError, parse_size
+from .workflow.validation import WorkflowValidationError
+
+
+class CliError(ValueError):
+    """A bad flag/spec; printed as an error and exit code 2."""
+
+
+# -- arrival-spec parsing ----------------------------------------------------------
+
+
+def _split_spec(spec: str, kind: str, argc: int) -> List[str]:
+    parts = spec.split(":")[1:]
+    if len(parts) != argc:
+        raise CliError(
+            f"arrivals spec {spec!r}: {kind} takes {argc} ':'-separated "
+            f"values after the kind"
+        )
+    return parts
+
+
+def parse_arrivals(spec: str):
+    """Parse an ``--arrivals`` spec into (kind, payload).
+
+    Returns one of ``("open", schedule)``, ``("closed", (clients,
+    duration_s))``, or ``("trace", InvocationTrace)``.
+    """
+    kind = spec.split(":", 1)[0]
+    if kind == "constant":
+        rpm, duration = _split_spec(spec, kind, 2)
+        return "open", constant(float(rpm), float(duration))
+    if kind == "burst":
+        base, surge, base_s, surge_s = _split_spec(spec, kind, 4)
+        return "open", burst(float(base), float(surge), float(base_s), float(surge_s))
+    if kind == "closed":
+        clients, duration = _split_spec(spec, kind, 2)
+        return "closed", (int(clients), float(duration))
+    if kind == "trace":
+        path = spec.partition(":")[2]
+        if not path:
+            raise CliError("arrivals spec 'trace:' needs a file path")
+        try:
+            return "trace", InvocationTrace.load(path)
+        except FileNotFoundError:
+            raise CliError(f"trace file not found: {path}") from None
+        except ValueError as exc:
+            raise CliError(f"bad trace file {path}: {exc}") from None
+    raise CliError(
+        f"unknown arrivals kind {kind!r}; expected constant, burst, "
+        f"closed, or trace"
+    )
+
+
+# -- subcommands --------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    kind, payload = parse_arrivals(args.arrivals)
+
+    deploy_apps = [args.app]
+    if kind == "trace":
+        deploy_apps += [a for a in payload.apps() if a != args.app]
+    overrides = {"seed": args.seed} if args.seed else None
+    setup = make_setup(
+        args.system,
+        args.app,
+        system_overrides=overrides,
+        placement=args.placement,
+        apps=deploy_apps,
+    )
+
+    input_bytes = parse_size(args.input_bytes) if args.input_bytes else None
+    factory = setup.request_factory(
+        input_bytes=input_bytes, fanout=args.fanout
+    )
+    if kind == "open":
+        result: RunResult = run_open_loop(
+            setup.system,
+            app.workflow_name,
+            factory,
+            payload,
+            timeout_s=args.timeout_s,
+            poisson=args.poisson,
+            seed=args.seed,
+        )
+    elif kind == "closed":
+        clients, duration_s = payload
+        result = run_closed_loop(
+            setup.system,
+            app.workflow_name,
+            factory,
+            clients,
+            duration_s,
+            timeout_s=args.timeout_s,
+        )
+    else:
+        if args.poisson:
+            raise CliError(
+                "--poisson only applies to constant/burst arrivals; trace "
+                "events carry their own timestamps"
+            )
+        result = run_trace(
+            setup.system,
+            payload,
+            default_app=args.app,
+            timeout_s=args.timeout_s,
+            input_bytes=input_bytes,
+            fanout=args.fanout,
+        )
+
+    payload_dict = result.to_dict()
+    payload_dict["app"] = args.app
+    payload_dict["arrivals"] = args.arrivals
+    text = (
+        render_json(payload_dict)
+        if args.format == "json"
+        else _run_report_table(payload_dict)
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[wrote {args.output}]")
+    else:
+        print(text)
+    return 0
+
+
+def _run_report_table(report: dict) -> str:
+    rows = [
+        ["app", report["app"]],
+        ["system", report["system"]],
+        ["workflow", report["workflow"]],
+        ["arrivals", report["arrivals"]],
+        ["offered", report["offered"]],
+        ["completed", report["completed"]],
+        ["failed", report["failed"]],
+        ["failure_rate", report["failure_rate"]],
+        ["throughput_rpm", report["throughput_rpm"]],
+    ]
+    latency = report.get("latency")
+    if latency:
+        for key in ("mean_s", "p50_s", "p99_s", "max_s"):
+            rows.append([f"latency.{key}", latency[key]])
+    usage = report.get("usage")
+    if usage:
+        rows.append(["memory_gbs", usage["memory_gbs"]])
+        rows.append(["cache_mbs", usage["cache_mbs"]])
+    parts = [render_table(["metric", "value"], rows, title="run report")]
+    tenants = report.get("tenants")
+    if tenants and len(tenants) > 1:
+        tenant_rows = [
+            [
+                tenant,
+                stats["offered"],
+                stats["completed"],
+                stats["latency"]["p50_s"] if stats["latency"] else None,
+                stats["latency"]["p99_s"] if stats["latency"] else None,
+            ]
+            for tenant, stats in tenants.items()
+        ]
+        parts.append("")
+        parts.append(
+            render_table(
+                ["tenant", "offered", "completed", "p50_s", "p99_s"],
+                tenant_rows,
+                title="per-tenant",
+            )
+        )
+    return "\n".join(parts)
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    if not args.experiment:
+        print("available experiments:")
+        for experiment_id in experiment_ids():
+            print(f"  {experiment_id}")
+        return 0
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        results = run_experiment(experiment_id, scale=args.scale)
+        for result in results:
+            print(result.render())
+            print()
+            if args.csv_dir:
+                import pathlib
+
+                directory = pathlib.Path(args.csv_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"{result.experiment_id}.csv"
+                path.write_text(result.to_csv())
+                print(f"[wrote {path}]")
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in registered_apps():
+        workflow = spec.build()
+        rows.append(
+            [
+                spec.short_name,
+                spec.title,
+                len(workflow.functions),
+                f"{spec.default_input_bytes / (1024 * 1024):g}MB",
+                spec.default_fanout,
+            ]
+        )
+    print(
+        render_table(
+            ["name", "title", "functions", "input", "fanout"],
+            rows,
+            title="registered apps",
+        )
+    )
+    return 0
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    from .experiments.common import SYSTEM_CLASSES
+
+    rows = [
+        [name, cls.__name__, (cls.__doc__ or "").strip().splitlines()[0]]
+        for name, cls in SYSTEM_CLASSES.items()
+    ]
+    print(render_table(["name", "class", "summary"], rows, title="systems"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        text = open(args.file).read()
+    except FileNotFoundError:
+        raise CliError(f"no such file: {args.file}") from None
+    try:
+        from .workflow.dsl import parse_workflow
+
+        workflow = parse_workflow(text)
+    except (DslError, WorkflowValidationError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    from .workflow.visualize import render_workflow
+
+    print(f"OK: workflow {workflow.name!r}, entry {workflow.entry!r}, "
+          f"{len(workflow.functions)} functions")
+    print(render_workflow(workflow))
+    return 0
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DataFlower reproduction: run workloads, experiments, "
+        "and workflow validation from one entry point.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run one app x system x arrival pattern")
+    run.add_argument("--app", required=True,
+                     help="registered app short name (see 'repro apps')")
+    run.add_argument("--system", default="dataflower", choices=system_names(),
+                     help="execution system (default: dataflower)")
+    run.add_argument("--arrivals", default="constant:60:20",
+                     help="constant:<rpm>:<s> | burst:<rpm>:<rpm>:<s>:<s> | "
+                     "closed:<clients>:<s> | trace:<file> "
+                     "(default: constant:60:20)")
+    run.add_argument("--placement", default="round_robin",
+                     help="placement policy (round_robin, single_node, hashed)")
+    run.add_argument("--input-bytes", default=None,
+                     help="request input size, e.g. 4MB (default: app default)")
+    run.add_argument("--fanout", type=int, default=None,
+                     help="FOREACH width (default: app default)")
+    run.add_argument("--timeout-s", type=float, default=60.0,
+                     help="per-request timeout (default: 60)")
+    run.add_argument("--poisson", action="store_true",
+                     help="Poisson (instead of paced) open-loop arrivals")
+    run.add_argument("--seed", type=int, default=0,
+                     help="system + arrival RNG seed")
+    run.add_argument("--format", choices=["table", "json"], default="table",
+                     help="report format (default: table)")
+    run.add_argument("--output", default=None,
+                     help="write the report to a file instead of stdout")
+    run.set_defaults(func=cmd_run)
+
+    experiments = sub.add_parser(
+        "experiments", help="list or re-run the paper-figure registry"
+    )
+    experiments.add_argument(
+        "experiment", nargs="?",
+        help=f"experiment id ({', '.join(experiment_ids())}) or 'all'"
+    )
+    experiments.add_argument("--scale", type=float, default=1.0,
+                             help="shrink sweeps/durations (0 < scale <= 1)")
+    experiments.add_argument("--csv-dir", default=None,
+                             help="also write each table as <dir>/<id>.csv")
+    experiments.set_defaults(func=cmd_experiments)
+
+    apps = sub.add_parser("apps", help="list registered applications")
+    apps.set_defaults(func=cmd_apps)
+
+    systems = sub.add_parser("systems", help="list execution systems")
+    systems.set_defaults(func=cmd_systems)
+
+    validate = sub.add_parser(
+        "validate", help="lint a Figure-7 DSL workflow file"
+    )
+    validate.add_argument("file", help="path to a workflow definition")
+    validate.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 0
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ class DataFlowerConfig(SystemConfig):
     #: Data-availability triggering is cheap: the per-node engine reacts in
     #: ~2 ms (Figure 13: merge fires 2 ms after count's data arrives).
     trigger_mean_s: float = 0.002
+    #: Gaussian sigma on the trigger reaction time (run-to-run variance).
     trigger_jitter_s: float = 0.0005
 
     #: Loss factor alpha of Equation (1): actual transfer time over ideal
@@ -32,15 +33,19 @@ class DataFlowerConfig(SystemConfig):
     #: Data below this size bypasses the pipe connector and travels by
     #: direct socket (§7: "for small data under 16K").
     small_data_bytes: float = 16 * KB
+    #: One-way latency of that direct-socket small-data path.
     socket_latency_s: float = 0.0008
 
     #: Streaming: the DLU begins pushing once the FLU has produced its
     #: first chunk instead of waiting for function completion (§3.3.1).
     streaming: bool = True
 
-    #: Wait-Match Memory lifetime management (§7).
+    #: Wait-Match Memory lifetime management (§7): free a sink entry the
+    #: moment its last consumer has fetched it.
     proactive_release: bool = True
+    #: Expire sink entries nobody claimed after ``sink_ttl_s`` (leak guard).
     passive_expire: bool = True
+    #: Time-to-live for passive expiration of unclaimed sink data.
     sink_ttl_s: float = 45.0
 
     #: Pipe-connector checkpoints for fault tolerance (§6.2): on a data
@@ -58,6 +63,7 @@ class DataFlowerConfig(SystemConfig):
     #: boot the destination's container when its input data starts
     #: flowing, hiding the cold start behind the transfer.
     prewarm: bool = False
+    #: Cap on concurrently prewarming containers per function (boot storms).
     max_prewarm: int = 2
 
     def validate(self) -> None:

@@ -1,9 +1,16 @@
-"""Shared experiment plumbing: canonical setups and sweep helpers.
+"""Shared experiment plumbing: system registry, canonical setups, runners.
 
-Every experiment builds its world through :func:`make_setup` so that all
-systems see identical clusters, placements, and request streams.  The
-``scale`` parameter shrinks run durations so the pytest-benchmark harness
-stays tractable; experiment *shape* is unaffected.
+This module is the single place that knows how to assemble a world:
+:data:`SYSTEM_CLASSES` and :data:`CONFIG_CLASSES` map system names to
+implementations, and :func:`make_setup` builds a fresh environment,
+cluster, system, and deployed benchmark(s) from names alone.  Every
+figure script *and* the ``repro`` CLI go through it, so all entry points
+see identical clusters, placements, and request streams.
+
+:func:`closed_loop_run` / :func:`open_loop_run` wrap the loadgen runners
+with a one-call setup for sweep loops.  The experiments' ``scale``
+parameter shrinks run durations so the pytest-benchmark harness stays
+tractable; experiment *shape* is unaffected.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from ..loadgen.arrivals import RateSegment, constant
 from ..sim.environment import Environment
 from ..systems.base import SystemConfig, WorkflowSystem
 from ..systems.faasflow import FaasFlowConfig, FaasFlowSystem
-from ..systems.placement import round_robin, single_node
+from ..systems.placement import get_policy
 from ..systems.production import ProductionConfig, ProductionSystem
 from ..systems.sonic import SonicConfig, SonicSystem
 from ..workflow.instance import RequestSpec
@@ -33,19 +40,30 @@ from ..workflow.instance import RequestSpec
 #: The three systems compared throughout §9.
 COMPARED_SYSTEMS = ["dataflower", "faasflow", "sonic"]
 
-_SYSTEM_CLASSES: Dict[str, Type[WorkflowSystem]] = {
+#: Every runnable system by name (the ``--system`` registry).
+SYSTEM_CLASSES: Dict[str, Type[WorkflowSystem]] = {
     "dataflower": DataFlowerSystem,
     "faasflow": FaasFlowSystem,
     "sonic": SonicSystem,
     "production": ProductionSystem,
 }
 
-_CONFIG_CLASSES = {
+#: The matching config class per system name.
+CONFIG_CLASSES: Dict[str, Type[SystemConfig]] = {
     "dataflower": DataFlowerConfig,
     "faasflow": FaasFlowConfig,
     "sonic": SonicConfig,
     "production": ProductionConfig,
 }
+
+# Backwards-compatible aliases (pre-CLI private names).
+_SYSTEM_CLASSES = SYSTEM_CLASSES
+_CONFIG_CLASSES = CONFIG_CLASSES
+
+
+def system_names() -> List[str]:
+    """Every registered system name, DataFlower first."""
+    return list(SYSTEM_CLASSES)
 
 
 @dataclass
@@ -84,10 +102,10 @@ def make_setup(
     """Build a fresh environment with one or more deployed benchmarks."""
     env = Environment()
     cluster = Cluster(env, cluster_config)
-    config_cls = _CONFIG_CLASSES[system_name]
+    config_cls = CONFIG_CLASSES[system_name]
     config = config_cls(**(system_overrides or {}))
-    system = _SYSTEM_CLASSES[system_name](env, cluster, config)
-    place = single_node if placement == "single_node" else round_robin
+    system = SYSTEM_CLASSES[system_name](env, cluster, config)
+    place = get_policy(placement)
 
     setup = Setup(env=env, cluster=cluster, system=system, app_name=app_name)
     for name in apps or [app_name]:

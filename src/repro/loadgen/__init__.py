@@ -1,4 +1,4 @@
-"""Load generation: open-loop schedules, closed-loop clients, run harness."""
+"""Load generation: schedules, closed-loop clients, traces, run harness."""
 
 from .arrivals import RateSegment, arrival_times, burst, constant, total_duration
 from .runner import (
@@ -8,16 +8,28 @@ from .runner import (
     run_closed_loop,
     run_open_loop,
 )
+from .trace import (
+    InvocationTrace,
+    TraceEvent,
+    TraceRunResult,
+    run_trace,
+    synthesize_trace,
+)
 
 __all__ = [
     "DEFAULT_TIMEOUT_S",
+    "InvocationTrace",
     "RateSegment",
     "RunResult",
+    "TraceEvent",
+    "TraceRunResult",
     "arrival_times",
     "burst",
     "constant",
     "default_request_factory",
     "run_closed_loop",
     "run_open_loop",
+    "run_trace",
+    "synthesize_trace",
     "total_duration",
 ]

@@ -64,6 +64,42 @@ class RunResult:
     def all_failed(self) -> bool:
         return bool(self.records) and not self.completed
 
+    def to_dict(self) -> dict:
+        """The run as a JSON-ready report (the CLI's ``--format json``).
+
+        Schema: run identity (``system``, ``workflow``), offered/completed
+        counts, ``latency`` (a :class:`LatencySummary` dict, ``None`` when
+        nothing completed), and ``usage`` (integrals plus per-request).
+        """
+        from ..metrics.report import summary_to_dict
+
+        payload: dict = {
+            "system": self.system_name,
+            "workflow": self.workflow,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "failure_rate": self.failure_rate,
+            "throughput_rpm": self.throughput_rpm(),
+            "latency": (
+                summary_to_dict(self.latency()) if self.completed else None
+            ),
+            "usage": None,
+        }
+        if self.usage is not None:
+            usage = summary_to_dict(self.usage)
+            per_request = self.usage.memory_gbs_per_request
+            usage["memory_gbs_per_request"] = (
+                None if per_request != per_request else per_request
+            )
+            per_request = self.usage.cache_mbs_per_request
+            usage["cache_mbs_per_request"] = (
+                None if per_request != per_request else per_request
+            )
+            payload["usage"] = usage
+        return payload
+
 
 def default_request_factory(
     system: WorkflowSystem, workflow_name: str, input_bytes: float, fanout: int

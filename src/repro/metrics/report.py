@@ -1,11 +1,16 @@
-"""Fixed-width table rendering for experiment output.
+"""Report rendering: fixed-width tables and JSON serialization.
 
 Every experiment module prints its figure/table through these helpers so
-`python -m repro.experiments <id>` output is uniform and diffable.
+`python -m repro.experiments <id>` output is uniform and diffable; the
+CLI's ``--format json`` path serializes the same summaries through
+:func:`summary_to_dict` / :func:`render_json`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
 from typing import Any, List, Optional, Sequence
 
 
@@ -51,3 +56,41 @@ def render_table(
     parts.append(line(["-" * w for w in widths]))
     parts.extend(line(row) for row in cells)
     return "\n".join(parts)
+
+
+def summary_to_dict(summary: Any) -> dict:
+    """A metrics dataclass (LatencySummary, UsageSummary, ...) as a dict.
+
+    Non-finite values (e.g. per-request usage with zero completions)
+    become ``None`` so the result is strict-JSON serializable.
+    """
+    if not dataclasses.is_dataclass(summary):
+        raise TypeError(f"expected a dataclass, got {type(summary).__name__}")
+    out = {}
+    for key, value in dataclasses.asdict(summary).items():
+        if isinstance(value, float) and not math.isfinite(value):
+            value = None
+        out[key] = value
+    return out
+
+
+def render_json(payload: Any, indent: int = 2) -> str:
+    """Serialize a report payload as strict JSON (NaN/inf become null)."""
+
+    def default(value: Any) -> Any:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return summary_to_dict(value)
+        raise TypeError(
+            f"{type(value).__name__} is not JSON serializable"
+        )
+
+    def sanitize(value: Any) -> Any:
+        if isinstance(value, float) and not math.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {k: sanitize(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [sanitize(v) for v in value]
+        return value
+
+    return json.dumps(sanitize(payload), indent=indent, default=default)

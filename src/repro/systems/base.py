@@ -36,13 +36,18 @@ if TYPE_CHECKING:  # pragma: no cover
 class SystemConfig:
     """Knobs shared by all systems (per-system configs extend this)."""
 
+    #: Container image pull + runtime boot time for a cold invocation.
     cold_start_s: float = 0.5
+    #: Language-runtime / dependency initialization on first use of a
+    #: freshly booted container (paid after ``cold_start_s``).
     env_setup_s: float = 0.3
+    #: Idle time before a warm container is recycled (platform keep-alive).
     keep_alive_s: float = 900.0
     #: Override every function's container memory (Figure 17 scale-up sweep).
     container_memory_mb: Optional[int] = None
     #: Entry input is already resident on the entry node (Figure 13 setup).
     input_local: bool = False
+    #: Root seed for every RNG stream the system draws (jitter, selectors).
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "SystemConfig":

@@ -4,6 +4,12 @@ DataFlower "does not rely on a specific load balancer [and] exposes an
 interface to the upper load balancer for customized function deployment
 policies" (§6.1).  The same interface drives the baselines so placement is
 never a confound: experiments hand the *same* placement to every system.
+
+A policy is any ``(Workflow, workers) -> {function: Node}`` callable.
+Named policies live in :data:`POLICIES` — that registry backs the CLI's
+``repro run --placement`` flag and :func:`repro.experiments.common.
+make_setup` — while parameterized ones (:func:`offset_round_robin`) are
+composed programmatically.
 """
 
 from __future__ import annotations

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import APP_ORDER, all_apps, get_app
+from repro.apps import APP_ORDER, EXTRA_APPS, all_apps, app_names, get_app
 from repro.cluster.telemetry import MB
 from repro.workflow import RequestSpec, TaskGraph, validate
 from repro.workflow.visualize import render_task_graph, render_workflow
@@ -13,23 +13,29 @@ def test_registry_has_paper_order():
     assert [app.short_name for app in all_apps()] == APP_ORDER
 
 
+def test_registry_extensions_listed_after_paper_set():
+    assert app_names() == APP_ORDER + EXTRA_APPS
+    assert EXTRA_APPS == ["ml_ensemble", "etl"]
+
+
 def test_unknown_app_rejected():
     with pytest.raises(KeyError):
         get_app("nope")
 
 
-@pytest.mark.parametrize("name", APP_ORDER)
+@pytest.mark.parametrize("name", APP_ORDER + EXTRA_APPS)
 def test_every_app_validates(name):
     workflow = get_app(name).build()
     validate(workflow)  # raises on any structural problem
 
 
-@pytest.mark.parametrize("name", APP_ORDER)
+@pytest.mark.parametrize("name", APP_ORDER + EXTRA_APPS)
 def test_every_app_has_sane_defaults(name):
     app = get_app(name)
     assert app.default_input_bytes > 0
     assert app.default_fanout >= 1
     assert app.title
+    assert app.build().name == app.workflow_name
 
 
 def test_wc_shape():
@@ -51,6 +57,32 @@ def test_vid_and_svd_are_fan_out_fan_in():
         )
         assert len(graph.tasks_of(middle)) == app.default_fanout
         assert len(graph.terminal_tasks) == 1
+
+
+def test_ml_ensemble_shape():
+    app = get_app("ml_ensemble")
+    workflow = app.build()
+    graph = TaskGraph(workflow, RequestSpec("r", input_bytes=2 * MB, fanout=5))
+    assert len(graph.tasks_of("ens_preprocess")) == 1
+    assert len(graph.tasks_of("ens_model")) == 5
+    assert len(graph.tasks_of("ens_vote")) == 1
+
+
+def test_etl_is_a_two_level_shuffle():
+    app = get_app("etl")
+    workflow = app.build()
+    graph = TaskGraph(
+        workflow,
+        RequestSpec("r", input_bytes=app.default_input_bytes,
+                    fanout=app.default_fanout),
+    )
+    assert len(graph.tasks_of("etl_clean")) == app.default_fanout
+    assert len(graph.tasks_of("etl_reduce")) == app.default_fanout
+    assert len(graph.tasks_of("etl_shuffle")) == 1
+    # The shuffle is the reduce-heavy step: it ingests every partition.
+    shuffle = graph.tasks_of("etl_shuffle")[0]
+    assert len(shuffle.inputs) == app.default_fanout
+    assert shuffle.input_bytes > app.default_input_bytes / 2
 
 
 def test_img_is_a_linear_chain():

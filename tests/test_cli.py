@@ -1,0 +1,250 @@
+"""End-to-end tests for the unified ``repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import CliError, main, parse_arrivals
+from repro.loadgen.arrivals import RateSegment
+
+SAMPLE_TRACE = """
+{
+  "events": [
+    {"at_s": 0.0, "tenant": "a"},
+    {"at_s": 0.5, "tenant": "b", "input_bytes": "1MB"},
+    {"at_s": 1.0, "tenant": "a", "fanout": 2}
+  ]
+}
+"""
+
+
+# -- arrivals spec parsing ----------------------------------------------------
+
+
+def test_parse_constant():
+    kind, schedule = parse_arrivals("constant:60:30")
+    assert kind == "open"
+    assert schedule == [RateSegment(30.0, 60.0)]
+
+
+def test_parse_burst():
+    kind, schedule = parse_arrivals("burst:10:100:60:30")
+    assert kind == "open"
+    assert [s.rate_rpm for s in schedule] == [10.0, 100.0]
+
+
+def test_parse_closed():
+    assert parse_arrivals("closed:8:20") == ("closed", (8, 20.0))
+
+
+def test_parse_trace(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    kind, trace = parse_arrivals(f"trace:{path}")
+    assert kind == "trace"
+    assert len(trace) == 3
+
+
+@pytest.mark.parametrize("spec", [
+    "constant:60",          # missing duration
+    "burst:1:2:3",          # missing one value
+    "trace:",               # no path
+    "trace:/no/such/file.json",
+    "warp:1:2",             # unknown kind
+])
+def test_bad_specs_rejected(spec):
+    with pytest.raises(CliError):
+        parse_arrivals(spec)
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 0
+    assert "usage: repro" in capsys.readouterr().out
+
+
+def test_apps_lists_all_registered(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("img", "vid", "svd", "wc", "ml_ensemble", "etl"):
+        assert name in out
+
+
+def test_systems_lists_registry(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dataflower", "faasflow", "sonic", "production"):
+        assert name in out
+
+
+def test_experiments_without_id_lists(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "fig19" in out
+
+
+def test_run_table_report(capsys):
+    code = main(["run", "--app", "wc", "--arrivals", "constant:30:10"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run report" in out
+    assert "throughput_rpm" in out
+    assert "latency.p99_s" in out
+
+
+def test_run_json_schema(capsys):
+    code = main([
+        "run", "--app", "ml_ensemble", "--system", "dataflower",
+        "--arrivals", "constant:30:10", "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["app"] == "ml_ensemble"
+    assert report["system"] == "dataflower"
+    assert report["workflow"] == "ml_ensemble"
+    assert report["offered"] == 5
+    assert report["completed"] == 5
+    assert set(report["latency"]) == {
+        "count", "mean_s", "p50_s", "p99_s", "sigma_s", "max_s",
+    }
+    assert report["usage"]["memory_gbs"] > 0
+    assert report["usage"]["memory_gbs_per_request"] > 0
+
+
+def test_run_trace_json_has_tenants(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    code = main([
+        "run", "--app", "etl", "--arrivals", f"trace:{path}",
+        "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["offered"] == 3
+    assert report["completed"] == 3
+    assert set(report["tenants"]) == {"a", "b"}
+    assert report["workflows"]["etl"]["completed"] == 3
+
+
+def test_run_trace_respects_fanout_override(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    path.write_text('{"events": [{"at_s": 0.0}]}')
+    code = main([
+        "run", "--app", "wc", "--arrivals", f"trace:{path}",
+        "--fanout", "7", "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["completed"] == 1
+
+
+def test_run_trace_rejects_poisson(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    code = main([
+        "run", "--app", "wc", "--arrivals", f"trace:{path}", "--poisson",
+    ])
+    assert code == 2
+    assert "--poisson" in capsys.readouterr().err
+
+
+def test_run_closed_loop(capsys):
+    code = main([
+        "run", "--app", "img", "--arrivals", "closed:2:5",
+        "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["completed"] > 0
+    assert report["failure_rate"] == 0.0
+
+
+def test_run_output_file(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    code = main([
+        "run", "--app", "wc", "--arrivals", "constant:30:6",
+        "--format", "json", "--output", str(out_path),
+    ])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    report = json.loads(out_path.read_text())
+    assert report["app"] == "wc"
+
+
+def test_run_unknown_app_fails(capsys):
+    assert main(["run", "--app", "nope"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_run_bad_arrivals_fails(capsys):
+    assert main(["run", "--app", "wc", "--arrivals", "warp:9"]) == 2
+    assert "arrivals" in capsys.readouterr().err
+
+
+def test_validate_ok(tmp_path, capsys):
+    path = tmp_path / "wf.dsl"
+    path.write_text("""
+workflow_name: tiny
+dataflows:
+  tiny_only:
+    compute: base=0.01
+    output: fixed=1KB
+    output_datas:
+      output:
+        type: NORMAL
+        destination: $USER
+""")
+    assert main(["validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "tiny_only" in out
+
+
+def test_validate_rejects_broken_dsl(tmp_path, capsys):
+    path = tmp_path / "bad.dsl"
+    path.write_text("""
+workflow_name: broken
+dataflows:
+  broken_a:
+    compute: base=0.01
+    output_datas:
+      out:
+        type: NORMAL
+        destination: broken_missing
+""")
+    assert main(["validate", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_validate_missing_file(capsys):
+    assert main(["validate", "/no/such.dsl"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_experiments_runs_one(capsys):
+    code = main(["experiments", "fig13", "--scale", "0.25"])
+    assert code == 0
+    assert "fig13" in capsys.readouterr().out
+
+
+def test_example_dsl_validates(capsys):
+    from pathlib import Path
+
+    dsl = Path(__file__).parent.parent / "examples" / "pipeline.dsl"
+    assert main(["validate", str(dsl)]) == 0
+
+
+def test_sample_traces_replay(capsys):
+    from pathlib import Path
+
+    traces = Path(__file__).parent.parent / "examples" / "traces"
+    code = main([
+        "run", "--app", "wc",
+        "--arrivals", f"trace:{traces / 'mixed_tenants.csv'}",
+        "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["failed"] == 0
+    assert set(report["tenants"]) == {"acme", "globex", "initech"}

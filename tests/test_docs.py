@@ -1,0 +1,35 @@
+"""The docs' python code blocks must execute against the current code."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_docs import check_file, python_blocks  # noqa: E402
+
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def test_docs_exist():
+    assert (ROOT / "README.md").is_file()
+    names = {path.name for path in DOC_FILES}
+    assert {"architecture.md", "execution-model.md", "experiments.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_code_blocks_run(path):
+    _count, failures = check_file(path)
+    assert not failures, "\n".join(failures)
+
+
+def test_docs_have_runnable_blocks():
+    # The quickstart and the config/trace examples must stay executable,
+    # not silently demoted to ```text fences.
+    counts = {path.name: len(python_blocks(path.read_text()))
+              for path in DOC_FILES}
+    assert counts["README.md"] >= 1
+    assert counts["execution-model.md"] >= 1
+    assert counts["experiments.md"] >= 1

@@ -1,0 +1,207 @@
+"""Tests for trace-driven multi-tenant load generation."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, DataFlowerSystem, Environment, round_robin
+from repro.apps import get_app
+from repro.cluster.telemetry import MB
+from repro.loadgen import (
+    InvocationTrace,
+    TraceEvent,
+    run_trace,
+    synthesize_trace,
+)
+
+JSON_TRACE = """
+{
+  "name": "t",
+  "events": [
+    {"at_s": 1.0, "tenant": "b", "app": "wc", "input_bytes": "2MB"},
+    {"at_s": 0.0, "tenant": "a", "app": "wc", "fanout": 2},
+    {"at_s": 2.0, "tenant": "a"}
+  ]
+}
+"""
+
+CSV_TRACE = """at_s,tenant,app,input_bytes,fanout,seed
+0.0,a,wc,4MB,4,0
+1.5,b,ml_ensemble,,,3
+3.0,a,wc,1MB,2,1
+"""
+
+
+# -- trace model --------------------------------------------------------------
+
+
+def test_events_sorted_by_time():
+    trace = InvocationTrace.from_json(JSON_TRACE)
+    assert [e.at_s for e in trace.events] == [0.0, 1.0, 2.0]
+    assert trace.duration_s == 2.0
+    assert trace.tenants() == ["a", "b"]
+    assert trace.apps() == ["wc"]
+
+
+def test_json_size_suffix_parsed():
+    trace = InvocationTrace.from_json(JSON_TRACE)
+    sizes = [e.input_bytes for e in trace.events]
+    assert sizes == [None, 2 * MB, None]
+
+
+def test_csv_round_trip_fields():
+    trace = InvocationTrace.from_csv(CSV_TRACE)
+    assert len(trace) == 3
+    first = trace.events[0]
+    assert first.tenant == "a" and first.app == "wc"
+    assert first.input_bytes == 4 * MB and first.fanout == 4
+    blank = trace.events[1]
+    assert blank.input_bytes is None and blank.fanout is None
+    assert blank.seed == 3
+
+
+def test_load_dispatches_on_suffix(tmp_path):
+    json_path = tmp_path / "t.json"
+    json_path.write_text(JSON_TRACE)
+    csv_path = tmp_path / "t.csv"
+    csv_path.write_text(CSV_TRACE)
+    assert len(InvocationTrace.load(json_path)) == 3
+    assert InvocationTrace.load(csv_path).apps() == ["ml_ensemble", "wc"]
+    assert InvocationTrace.load(json_path).name == "t"
+
+
+def test_to_json_round_trips():
+    trace = InvocationTrace.from_csv(CSV_TRACE, name="rt")
+    again = InvocationTrace.from_json(trace.to_json())
+    assert again.name == "rt"
+    assert [e.at_s for e in again.events] == [e.at_s for e in trace.events]
+    assert [e.app for e in again.events] == [e.app for e in trace.events]
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(at_s=-1.0)
+    with pytest.raises(ValueError):
+        TraceEvent(at_s=0.0, fanout=0)
+    with pytest.raises(ValueError):
+        TraceEvent(at_s=0.0, input_bytes=-5.0)
+
+
+# -- synthesis ----------------------------------------------------------------
+
+
+def test_synthesize_is_deterministic_per_seed():
+    kwargs = dict(tenants=3, duration_s=30.0, mean_rpm=30, apps=["wc", "etl"])
+    a = synthesize_trace(seed=1, **kwargs)
+    b = synthesize_trace(seed=1, **kwargs)
+    c = synthesize_trace(seed=2, **kwargs)
+    assert a.to_json() == b.to_json()
+    assert a.to_json() != c.to_json()
+
+
+def test_synthesize_covers_tenants_and_apps():
+    trace = synthesize_trace(
+        tenants=4, duration_s=120.0, mean_rpm=30, apps=["wc", "ml_ensemble"],
+        seed=0,
+    )
+    assert len(trace.tenants()) >= 3  # a zero-rate tenant is possible
+    assert trace.apps() == ["ml_ensemble", "wc"]
+    assert all(0 <= e.at_s < 120.0 for e in trace.events)
+
+
+def test_synthesize_rejects_bad_args():
+    with pytest.raises(ValueError):
+        synthesize_trace(tenants=0, duration_s=10.0, mean_rpm=10)
+    with pytest.raises(ValueError):
+        synthesize_trace(tenants=1, duration_s=0.0, mean_rpm=10)
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def make_system(app_names):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    system = DataFlowerSystem(env, cluster)
+    for name in app_names:
+        workflow = get_app(name).build()
+        system.deploy(workflow, round_robin(workflow, cluster.workers))
+    return system
+
+
+def test_run_trace_multi_tenant_interleaving():
+    trace = InvocationTrace.from_csv(CSV_TRACE)
+    system = make_system(["wc", "ml_ensemble"])
+    result = run_trace(system, trace)
+    assert result.offered == 3
+    assert len(result.completed) == 3
+    grouped = result.tenant_records()
+    assert sorted(grouped) == ["a", "b"]
+    assert len(grouped["a"]) == 2 and len(grouped["b"]) == 1
+    # Submissions happen at the trace's absolute timestamps.
+    submits = sorted(r.submit_time for r in result.records)
+    assert submits == pytest.approx([0.0, 1.5, 3.0])
+    by_workflow = result.workflow_records()
+    assert sorted(by_workflow) == ["ml_ensemble", "wordcount"]
+
+
+def test_run_trace_default_app_fills_missing():
+    trace = InvocationTrace.from_json(JSON_TRACE)  # last event has no app
+    system = make_system(["wc"])
+    result = run_trace(system, trace, default_app="wc")
+    assert len(result.completed) == 3
+    assert all(r.workflow == "wordcount" for r in result.records)
+
+
+def test_run_trace_requires_deployment():
+    trace = InvocationTrace.from_csv(CSV_TRACE)
+    system = make_system(["wc"])  # ml_ensemble missing
+    with pytest.raises(KeyError):
+        run_trace(system, trace)
+
+
+def test_run_trace_requires_default_for_appless_events():
+    # The appless event is *last*: the check must fire up front, before
+    # any earlier event has been submitted.
+    trace = InvocationTrace.from_events(
+        [{"at_s": 0.0, "app": "wc"}, {"at_s": 1.0}]
+    )
+    system = make_system(["wc"])
+    with pytest.raises(ValueError):
+        run_trace(system, trace)
+    assert system.records == []
+
+
+def test_run_trace_caller_overrides_fill_gaps_only():
+    trace = InvocationTrace.from_events(
+        [{"at_s": 0.0, "fanout": 2}, {"at_s": 1.0}]
+    )
+    system = make_system(["wc"])
+    result = run_trace(system, trace, default_app="wc", fanout=6,
+                       input_bytes=1024.0)
+    widths = sorted(
+        len([t for t in r.tasks if t.function == "wordcount_count"])
+        for r in result.records
+    )
+    assert widths == [2, 6]  # event value wins, override fills the gap
+
+
+def test_replay_is_deterministic():
+    trace = synthesize_trace(
+        tenants=3, duration_s=20.0, mean_rpm=30, apps=["wc"], seed=9,
+    )
+    latencies = []
+    for _ in range(2):
+        system = make_system(["wc"])
+        result = run_trace(system, trace)
+        latencies.append([r.latency for r in result.completed])
+    assert latencies[0] == latencies[1]
+    assert latencies[0]  # something actually ran
+
+
+def test_trace_report_has_breakdowns():
+    trace = InvocationTrace.from_csv(CSV_TRACE)
+    system = make_system(["wc", "ml_ensemble"])
+    report = run_trace(system, trace).to_dict()
+    assert set(report["tenants"]) == {"a", "b"}
+    assert report["tenants"]["a"]["completed"] == 2
+    assert report["tenants"]["a"]["latency"]["count"] == 2
+    assert set(report["workflows"]) == {"wordcount", "ml_ensemble"}

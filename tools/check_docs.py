@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that every ``python`` code block in the docs actually runs.
+
+Extracts fenced ```python blocks from README.md and docs/*.md and
+executes each in a fresh namespace (so docs never drift from the code).
+Blocks fenced with any other info string (```text, ```console, ```json,
+...) are ignored.
+
+Usage:  PYTHONPATH=src python tools/check_docs.py [paths...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def python_blocks(text: str) -> List[Tuple[int, str]]:
+    """(start line, source) for each ```python block in a document."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE.match(lines[i])
+        if match and match.group(1) == "python":
+            start = i + 2  # first code line, 1-indexed
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def check_file(path: Path) -> Tuple[int, List[str]]:
+    """(block count, failure messages) for one document."""
+    blocks = python_blocks(path.read_text())
+    failures = []
+    for line_no, source in blocks:
+        try:
+            code = compile(source, f"{path}:{line_no}", "exec")
+            exec(code, {"__name__": f"docs_block_{path.stem}_{line_no}"})
+        except Exception as exc:  # noqa: BLE001 - report every failure kind
+            failures.append(f"{path}:{line_no}: {type(exc).__name__}: {exc}")
+    return len(blocks), failures
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = (
+        [Path(p) for p in argv]
+        if argv
+        else [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    )
+    failures: List[str] = []
+    checked = 0
+    for path in paths:
+        count, file_failures = check_file(path)
+        checked += count
+        failures.extend(file_failures)
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    print(f"checked {checked} python block(s) in {len(paths)} file(s): "
+          f"{'FAIL' if failures else 'ok'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
