@@ -1,0 +1,77 @@
+"""Bench: sharded replay wall-clock throughput at 1 and N workers.
+
+Times the :mod:`repro.parallel` engine on a synthesized multi-tenant
+trace, serial versus a 4-shard process-pool run, and prints one
+machine-greppable ``BENCH {json}`` line so the replay-throughput
+trajectory is tracked across commits.  The speedup assertion scales
+with the cores actually available — on a single-core CI runner the
+parallel run only has to stay within overhead bounds, while on 4+
+cores it must clear the 1.5x bar.
+"""
+
+import json
+import os
+import time
+
+from repro.loadgen.trace import synthesize_trace
+from repro.parallel import ReplaySpec, run_parallel_replay
+
+TENANTS = 8
+DURATION_S = 90.0
+MEAN_RPM = 40.0
+SHARDS = 4
+
+
+def test_bench_replay_throughput(benchmark):
+    trace = synthesize_trace(
+        tenants=TENANTS,
+        duration_s=DURATION_S,
+        mean_rpm=MEAN_RPM,
+        apps=["wc", "etl"],
+        seed=7,
+        name="bench-replay",
+    )
+    spec = ReplaySpec(default_app="wc")
+    cores = os.cpu_count() or 1
+    workers = min(SHARDS, cores)
+
+    start = time.perf_counter()
+    serial = run_parallel_replay(trace, spec, shards=1, workers=1)
+    serial_wall = time.perf_counter() - start
+
+    parallel = benchmark.pedantic(
+        run_parallel_replay,
+        args=(trace, spec),
+        kwargs={"shards": SHARDS, "workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Parallelism must never change results: merged reports are identical.
+    assert parallel.to_dict() == serial.to_dict()
+    assert len(parallel.completed) == len(trace)
+
+    speedup = serial_wall / parallel.wall_s if parallel.wall_s > 0 else 0.0
+    point = {
+        "bench": "replay_throughput",
+        "events": len(trace),
+        "tenants": TENANTS,
+        "shards": SHARDS,
+        "workers": workers,
+        "cpu_count": cores,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel.wall_s, 4),
+        "serial_events_per_s": round(len(trace) / serial_wall, 2),
+        "parallel_events_per_s": round(parallel.events_per_s(), 2),
+        "speedup": round(speedup, 3),
+    }
+    print("BENCH " + json.dumps(point, sort_keys=True))
+    benchmark.extra_info.update(point)
+
+    if cores >= 4:
+        assert speedup > 1.5, f"expected >1.5x at {workers} workers: {point}"
+    elif cores >= 2:
+        assert speedup > 1.1, f"expected >1.1x at {workers} workers: {point}"
+    else:
+        # Single core: no speedup possible; bound the pool overhead.
+        assert parallel.wall_s < serial_wall * 3.0, point

@@ -37,6 +37,7 @@ from .loadgen import (
     synthesize_trace,
 )
 from .metrics import LatencySummary, RequestRecord, TaskRecord, render_table
+from .parallel import ParallelReplayResult, ReplaySpec, run_parallel_replay
 from .sim import Environment
 from .systems import (
     FaasFlowConfig,
@@ -79,10 +80,12 @@ __all__ = [
     "LatencySummary",
     "MB",
     "OutputModel",
+    "ParallelReplayResult",
     "ProductionConfig",
     "ProductionSystem",
     "RequestRecord",
     "RequestSpec",
+    "ReplaySpec",
     "RunResult",
     "SonicConfig",
     "SonicSystem",
@@ -100,6 +103,7 @@ __all__ = [
     "round_robin",
     "run_closed_loop",
     "run_open_loop",
+    "run_parallel_replay",
     "run_trace",
     "single_node",
     "synthesize_trace",

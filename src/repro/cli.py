@@ -5,6 +5,9 @@ One entry point for everything the reproduction can do::
     repro run --app wc --system dataflower --arrivals constant:60:20
     repro run --app ml_ensemble --format json \\
         --arrivals trace:examples/traces/mixed_tenants.csv
+    repro replay examples/traces/mixed_tenants.csv --shards 4 --workers 4
+    repro synth --tenants 16 --duration-s 120 --mean-rpm 30 \\
+        --apps wc,etl --seed 7 --output big.csv
     repro experiments fig11 --scale 0.25
     repro apps
     repro systems
@@ -22,6 +25,17 @@ Installed as a ``console_scripts`` entry (``repro``) and runnable as
     * ``closed:<clients>:<duration_s>`` — synchronous closed loop;
     * ``trace:<path.json|path.csv>`` — multi-tenant trace replay
       (see :mod:`repro.loadgen.trace`).
+
+``replay``
+    Sharded parallel trace replay (:mod:`repro.parallel`): partition a
+    trace into cells by ``--policy``, replay ``--shards`` batches across
+    ``--workers`` processes, and print one merged report that is
+    bit-identical at any shard/worker count (``docs/scaling.md``).
+
+``synth``
+    Generate a deterministic multi-tenant trace file (Azure-trace-style
+    skewed Poisson arrivals) for ``replay``/``run`` to consume; the
+    ``--seed`` makes every synthesis reproducible.
 
 ``experiments``
     List or re-run the paper-figure registry (wraps
@@ -88,12 +102,7 @@ def parse_arrivals(spec: str):
         path = spec.partition(":")[2]
         if not path:
             raise CliError("arrivals spec 'trace:' needs a file path")
-        try:
-            return "trace", InvocationTrace.load(path)
-        except FileNotFoundError:
-            raise CliError(f"trace file not found: {path}") from None
-        except ValueError as exc:
-            raise CliError(f"bad trace file {path}: {exc}") from None
+        return "trace", _load_trace(path)
     raise CliError(
         f"unknown arrivals kind {kind!r}; expected constant, burst, "
         f"closed, or trace"
@@ -175,12 +184,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_report_table(report: dict) -> str:
-    rows = [
-        ["app", report["app"]],
-        ["system", report["system"]],
-        ["workflow", report["workflow"]],
-        ["arrivals", report["arrivals"]],
+def _report_table(title: str, identity_rows: List[List], report: dict) -> str:
+    """Render the common report-table tail after caller-specific rows."""
+    rows = identity_rows + [
         ["offered", report["offered"]],
         ["completed", report["completed"]],
         ["failed", report["failed"]],
@@ -195,7 +201,7 @@ def _run_report_table(report: dict) -> str:
     if usage:
         rows.append(["memory_gbs", usage["memory_gbs"]])
         rows.append(["cache_mbs", usage["cache_mbs"]])
-    parts = [render_table(["metric", "value"], rows, title="run report")]
+    parts = [render_table(["metric", "value"], rows, title=title)]
     tenants = report.get("tenants")
     if tenants and len(tenants) > 1:
         tenant_rows = [
@@ -217,6 +223,135 @@ def _run_report_table(report: dict) -> str:
             )
         )
     return "\n".join(parts)
+
+
+def _run_report_table(report: dict) -> str:
+    return _report_table(
+        "run report",
+        [
+            ["app", report["app"]],
+            ["system", report["system"]],
+            ["workflow", report["workflow"]],
+            ["arrivals", report["arrivals"]],
+        ],
+        report,
+    )
+
+
+def _load_trace(path: str) -> InvocationTrace:
+    try:
+        return InvocationTrace.load(path)
+    except FileNotFoundError:
+        raise CliError(f"trace file not found: {path}") from None
+    except ValueError as exc:
+        raise CliError(f"bad trace file {path}: {exc}") from None
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .parallel import ReplaySpec, get_shard_policy, run_parallel_replay
+
+    trace = _load_trace(args.trace)
+    try:
+        policy = get_shard_policy(args.policy)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    if args.shards < 1:
+        raise CliError("--shards must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    spec = ReplaySpec(
+        system_name=args.system,
+        default_app=args.app,
+        placement=args.placement,
+        seed=args.seed,
+        timeout_s=args.timeout_s,
+        input_bytes=parse_size(args.input_bytes) if args.input_bytes else None,
+        fanout=args.fanout,
+    )
+    result = run_parallel_replay(
+        trace, spec, shards=args.shards, workers=args.workers, policy=policy
+    )
+
+    payload = result.to_dict()
+    payload["trace"] = args.trace
+    # Scheduling facts live outside the deterministic report body: the
+    # merged results above are identical at any --shards/--workers.
+    payload["parallel"] = {
+        "policy": result.policy_name,
+        "cells": result.cell_count,
+        "shards": result.shards,
+        "workers": result.workers,
+        "wall_s": result.wall_s,
+        "events_per_s": result.events_per_s(),
+    }
+    text = (
+        render_json(payload)
+        if args.format == "json"
+        else _replay_report_table(payload)
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[wrote {args.output}]")
+    else:
+        print(text)
+    return 0
+
+
+def _replay_report_table(report: dict) -> str:
+    parallel = report["parallel"]
+    return _report_table(
+        "sharded replay report",
+        [
+            ["trace", report["trace"]],
+            ["system", report["system"]],
+            ["workflow", report["workflow"]],
+            ["policy", parallel["policy"]],
+            ["cells", parallel["cells"]],
+            ["shards", parallel["shards"]],
+            ["workers", parallel["workers"]],
+            ["wall_s", parallel["wall_s"]],
+            ["events_per_s", parallel["events_per_s"]],
+        ],
+        report,
+    )
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from .loadgen.trace import synthesize_trace
+
+    apps = [a for a in (args.apps or "").split(",") if a] or None
+    if apps:
+        for app in apps:
+            get_app(app)  # raises KeyError -> exit 2 on unknown names
+    try:
+        trace = synthesize_trace(
+            tenants=args.tenants,
+            duration_s=args.duration_s,
+            mean_rpm=args.mean_rpm,
+            apps=apps,
+            rate_sigma=args.rate_sigma,
+            input_bytes=parse_size(args.input_bytes) if args.input_bytes else None,
+            seed=args.seed,
+            name=args.name,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    if args.output:
+        text = (
+            trace.to_csv()
+            if args.output.lower().endswith(".csv")
+            else trace.to_json() + "\n"
+        )
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(
+            f"[wrote {args.output}: {len(trace)} events, "
+            f"{len(trace.tenants())} tenants, {trace.duration_s:.1f}s]"
+        )
+    else:
+        print(trace.to_json())
+    return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -333,6 +468,65 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", default=None,
                      help="write the report to a file instead of stdout")
     run.set_defaults(func=cmd_run)
+
+    replay = sub.add_parser(
+        "replay",
+        help="sharded parallel trace replay with a merged report",
+    )
+    replay.add_argument("trace", help="trace file (.json or .csv)")
+    replay.add_argument("--app", default=None,
+                        help="default app for events naming none")
+    replay.add_argument("--system", default="dataflower",
+                        choices=system_names(),
+                        help="execution system (default: dataflower)")
+    replay.add_argument("--placement", default="round_robin",
+                        help="placement policy (round_robin, single_node, "
+                        "hashed)")
+    replay.add_argument("--shards", type=int, default=1,
+                        help="cell batches to replay (default: 1, serial)")
+    replay.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: min(shards, cores))")
+    replay.add_argument("--policy", default="tenant",
+                        help="cell partition policy: tenant | "
+                        "timeslice[:<seconds>] (default: tenant)")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="root seed; per-cell seeds derive from it")
+    replay.add_argument("--input-bytes", default=None,
+                        help="input size for events carrying none, e.g. 4MB")
+    replay.add_argument("--fanout", type=int, default=None,
+                        help="FOREACH width for events carrying none")
+    replay.add_argument("--timeout-s", type=float, default=60.0,
+                        help="per-request timeout (default: 60)")
+    replay.add_argument("--format", choices=["table", "json"],
+                        default="table", help="report format (default: table)")
+    replay.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+    replay.set_defaults(func=cmd_replay)
+
+    synth = sub.add_parser(
+        "synth", help="synthesize a deterministic multi-tenant trace file"
+    )
+    synth.add_argument("--tenants", type=int, default=8,
+                       help="tenant count (default: 8)")
+    synth.add_argument("--duration-s", type=float, default=60.0,
+                       help="trace length in seconds (default: 60)")
+    synth.add_argument("--mean-rpm", type=float, default=30.0,
+                       help="mean per-tenant request rate (default: 30)")
+    synth.add_argument("--apps", default=None,
+                       help="comma-separated app names cycled over tenants")
+    synth.add_argument("--rate-sigma", type=float, default=1.0,
+                       help="lognormal tenant-rate skew; 0 = uniform "
+                       "(default: 1.0)")
+    synth.add_argument("--input-bytes", default=None,
+                       help="mean input size with jitter, e.g. 4MB")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="synthesis RNG seed (default: 0)")
+    synth.add_argument("--name", default="synthetic",
+                       help="trace name (default: synthetic)")
+    synth.add_argument("--output", default=None,
+                       help="output file; .csv writes CSV, anything else "
+                       "JSON (default: JSON to stdout)")
+    synth.set_defaults(func=cmd_synth)
 
     experiments = sub.add_parser(
         "experiments", help="list or re-run the paper-figure registry"

@@ -53,6 +53,7 @@ _MODULES: Dict[str, str] = {
     "fig17": "repro.experiments.fig17_scaleup",
     "fig18": "repro.experiments.fig18_colocation",
     "fig19": "repro.experiments.fig19_stateful",
+    "scale-replay": "repro.experiments.scale_replay",
 }
 
 

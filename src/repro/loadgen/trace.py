@@ -86,35 +86,35 @@ class InvocationTrace:
 
     # -- loading -----------------------------------------------------------------
 
+    @staticmethod
+    def _event_from_row(row: dict) -> TraceEvent:
+        """Parse one JSON/CSV row dict into a :class:`TraceEvent`."""
+        if row.get("at_s") in ("", None):
+            raise ValueError(
+                f"trace event missing required 'at_s' field: {row!r}"
+            )
+        raw_size = row.get("input_bytes")
+        if isinstance(raw_size, str) and raw_size.strip():
+            raw_size = parse_size(raw_size)
+        elif raw_size in ("", None):
+            raw_size = None
+        else:
+            raw_size = float(raw_size)
+        return TraceEvent(
+            at_s=float(row["at_s"]),
+            tenant=str(row.get("tenant") or "default"),
+            app=(str(row["app"]) if row.get("app") else None),
+            input_bytes=raw_size,
+            fanout=(int(row["fanout"]) if row.get("fanout") else None),
+            seed=int(row.get("seed") or 0),
+        )
+
     @classmethod
     def from_events(
         cls, rows: Sequence[dict], name: str = "trace"
     ) -> "InvocationTrace":
         """Build from dict rows (the JSON/CSV schema)."""
-        events = []
-        for row in rows:
-            if row.get("at_s") in ("", None):
-                raise ValueError(
-                    f"trace event missing required 'at_s' field: {row!r}"
-                )
-            raw_size = row.get("input_bytes")
-            if isinstance(raw_size, str) and raw_size.strip():
-                raw_size = parse_size(raw_size)
-            elif raw_size in ("", None):
-                raw_size = None
-            else:
-                raw_size = float(raw_size)
-            events.append(
-                TraceEvent(
-                    at_s=float(row["at_s"]),
-                    tenant=str(row.get("tenant") or "default"),
-                    app=(str(row["app"]) if row.get("app") else None),
-                    input_bytes=raw_size,
-                    fanout=(int(row["fanout"]) if row.get("fanout") else None),
-                    seed=int(row.get("seed") or 0),
-                )
-            )
-        return cls(events=events, name=name)
+        return cls(events=[cls._event_from_row(row) for row in rows], name=name)
 
     @classmethod
     def from_json(cls, text: str, name: str = "trace") -> "InvocationTrace":
@@ -128,8 +128,47 @@ class InvocationTrace:
 
     @classmethod
     def from_csv(cls, text: str, name: str = "trace") -> "InvocationTrace":
-        reader = csv.DictReader(io.StringIO(text))
-        return cls.from_events(list(reader), name=name)
+        """Parse CSV text, tolerating blank lines and ``#`` comments.
+
+        The first contentful line is the header.  Malformed rows raise
+        :class:`ValueError` naming the 1-indexed source line, so a bad
+        row in a million-line trace is findable.
+        """
+        # Filter comment/blank physical lines but keep line endings and a
+        # map back to source line numbers, then let csv.reader consume the
+        # remainder so quoted fields (embedded newlines included) parse as
+        # real CSV.
+        lines: List[str] = []
+        origin: List[int] = []
+        for line_no, raw in enumerate(text.splitlines(keepends=True), start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            lines.append(raw)
+            origin.append(line_no)
+        header: Optional[List[str]] = None
+        events: List[TraceEvent] = []
+        reader = csv.reader(lines)
+        consumed = 0
+        for values in reader:
+            row_line = origin[consumed]
+            consumed = reader.line_num
+            if header is None:
+                header = [column.strip() for column in values]
+                continue
+            if len(values) > len(header):
+                raise ValueError(
+                    f"trace CSV line {row_line}: {len(values)} fields but "
+                    f"header has {len(header)} columns"
+                )
+            row = dict(zip(header, (value.strip() for value in values)))
+            try:
+                events.append(cls._event_from_row(row))
+            except ValueError as exc:
+                raise ValueError(
+                    f"trace CSV line {row_line}: {exc}"
+                ) from None
+        return cls(events=events, name=name)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "InvocationTrace":
@@ -154,6 +193,25 @@ class InvocationTrace:
                 row["seed"] = event.seed
             rows.append(row)
         return json.dumps({"name": self.name, "events": rows}, indent=2)
+
+    def to_csv(self) -> str:
+        """The trace in the loader's CSV schema (round-trips via
+        :meth:`from_csv`)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["at_s", "tenant", "app", "input_bytes", "fanout", "seed"])
+        for event in self.events:
+            writer.writerow(
+                [
+                    event.at_s,
+                    event.tenant,
+                    event.app or "",
+                    "" if event.input_bytes is None else event.input_bytes,
+                    "" if event.fanout is None else event.fanout,
+                    event.seed,
+                ]
+            )
+        return buffer.getvalue()
 
 
 def synthesize_trace(

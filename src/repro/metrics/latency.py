@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .stats import mean, p99, percentile, stddev
 
@@ -79,7 +79,15 @@ class RequestRecord:
 
 @dataclass
 class LatencySummary:
-    """Aggregate latency statistics over completed requests."""
+    """Aggregate latency statistics over completed requests.
+
+    Summaries built through :meth:`from_records` / :meth:`from_latencies`
+    retain their underlying samples (excluded from reports and equality),
+    which makes them *mergeable*: ``a.merge(b)`` — or ``a + b`` — equals
+    :meth:`from_latencies` on the concatenated sample sets exactly, so
+    sharded runs can combine per-shard summaries without losing the
+    percentiles.
+    """
 
     count: int
     mean_s: float
@@ -87,10 +95,17 @@ class LatencySummary:
     p99_s: float
     sigma_s: float
     max_s: float
+    #: Latencies the summary was computed from, in record order.  Carried
+    #: so summaries merge exactly; excluded from reports (``report=False``
+    #: metadata) and from ``==`` so the JSON schema and comparisons match
+    #: the plain six-field summary.
+    samples: Tuple[float, ...] = field(
+        default=(), repr=False, compare=False, metadata={"report": False}
+    )
 
     @classmethod
-    def from_records(cls, records: List[RequestRecord]) -> "LatencySummary":
-        latencies = [r.latency for r in records if r.completed]
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencySummary":
+        latencies = list(latencies)
         if not latencies:
             raise ValueError("no completed requests to summarize")
         return cls(
@@ -100,4 +115,34 @@ class LatencySummary:
             p99_s=p99(latencies),
             sigma_s=stddev(latencies),
             max_s=max(latencies),
+            samples=tuple(latencies),
         )
+
+    @classmethod
+    def from_records(cls, records: List[RequestRecord]) -> "LatencySummary":
+        return cls.from_latencies(
+            [r.latency for r in records if r.completed]
+        )
+
+    def merge(self, other: "LatencySummary") -> "LatencySummary":
+        """Combine two summaries into the summary of the union.
+
+        Exact (not approximated): both operands must retain their samples,
+        i.e. have been built via :meth:`from_records`/:meth:`from_latencies`
+        or previous merges.
+        """
+        if not isinstance(other, LatencySummary):
+            raise TypeError(
+                f"cannot merge LatencySummary with {type(other).__name__}"
+            )
+        if not self.samples or not other.samples:
+            raise ValueError(
+                "merge needs summaries that retain samples (build them via "
+                "from_records/from_latencies, not the raw constructor)"
+            )
+        return type(self).from_latencies(self.samples + other.samples)
+
+    def __add__(self, other: "LatencySummary") -> "LatencySummary":
+        if not isinstance(other, LatencySummary):
+            return NotImplemented
+        return self.merge(other)

@@ -62,15 +62,23 @@ def summary_to_dict(summary: Any) -> dict:
     """A metrics dataclass (LatencySummary, UsageSummary, ...) as a dict.
 
     Non-finite values (e.g. per-request usage with zero completions)
-    become ``None`` so the result is strict-JSON serializable.
+    become ``None`` so the result is strict-JSON serializable.  Fields
+    whose metadata carries ``report=False`` (internal state such as
+    :class:`~repro.metrics.latency.LatencySummary`'s retained samples)
+    are left out of the dict.
     """
     if not dataclasses.is_dataclass(summary):
         raise TypeError(f"expected a dataclass, got {type(summary).__name__}")
     out = {}
-    for key, value in dataclasses.asdict(summary).items():
-        if isinstance(value, float) and not math.isfinite(value):
+    for spec in dataclasses.fields(summary):
+        if not spec.metadata.get("report", True):
+            continue
+        value = getattr(summary, spec.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = summary_to_dict(value)
+        elif isinstance(value, float) and not math.isfinite(value):
             value = None
-        out[key] = value
+        out[spec.name] = value
     return out
 
 

@@ -26,6 +26,23 @@ class UsageSummary:
     cache_mbs: float
     completed_requests: int
 
+    def merge(self, other: "UsageSummary") -> "UsageSummary":
+        """The usage of two disjoint runs combined (integrals add)."""
+        if not isinstance(other, UsageSummary):
+            raise TypeError(
+                f"cannot merge UsageSummary with {type(other).__name__}"
+            )
+        return UsageSummary(
+            memory_gbs=self.memory_gbs + other.memory_gbs,
+            cache_mbs=self.cache_mbs + other.cache_mbs,
+            completed_requests=self.completed_requests + other.completed_requests,
+        )
+
+    def __add__(self, other: "UsageSummary") -> "UsageSummary":
+        if not isinstance(other, UsageSummary):
+            return NotImplemented
+        return self.merge(other)
+
     @property
     def memory_gbs_per_request(self) -> float:
         if self.completed_requests == 0:

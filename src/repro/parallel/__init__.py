@@ -1,0 +1,45 @@
+"""Sharded parallel trace replay: scale replay across CPU cores.
+
+The layer between the load generator and the simulator: it partitions an
+:class:`~repro.loadgen.trace.InvocationTrace` into independent cells
+(:mod:`~repro.parallel.policy`), replays each in its own fresh simulated
+world — in worker processes when ``workers > 1`` — from a picklable
+:class:`~repro.parallel.spec.ReplaySpec`, and merges the per-shard
+metrics into one deterministic report
+(:mod:`~repro.parallel.engine`).  ``repro replay`` is the CLI front-end;
+``docs/scaling.md`` covers the architecture and policy trade-offs.
+"""
+
+from .engine import (
+    CellResult,
+    ParallelReplayResult,
+    ShardResult,
+    merge_shard_results,
+    partition_trace,
+    replay_cell,
+    run_parallel_replay,
+)
+from .policy import (
+    ShardPolicy,
+    TenantShardPolicy,
+    TimeSliceShardPolicy,
+    get_shard_policy,
+    shard_policy_names,
+)
+from .spec import ReplaySpec
+
+__all__ = [
+    "CellResult",
+    "ParallelReplayResult",
+    "ReplaySpec",
+    "ShardPolicy",
+    "ShardResult",
+    "TenantShardPolicy",
+    "TimeSliceShardPolicy",
+    "get_shard_policy",
+    "merge_shard_results",
+    "partition_trace",
+    "replay_cell",
+    "run_parallel_replay",
+    "shard_policy_names",
+]

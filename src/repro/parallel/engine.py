@@ -1,0 +1,265 @@
+"""Sharded trace replay: cells → shards → worker processes → one report.
+
+The pipeline:
+
+1. A :class:`~repro.parallel.policy.ShardPolicy` splits the trace into
+   *cells* — independent sub-traces that never interact (per tenant by
+   default).  The cell partition depends only on trace + policy.
+2. :func:`partition_trace` packs cells into ``shards`` batches by a
+   stable hash of the cell key.
+3. Each shard replays in a worker process (``ProcessPoolExecutor``) — or
+   inline when ``workers == 1`` / ``shards == 1``, the serial fallback.
+   A worker rebuilds a fresh simulated world per cell from the picklable
+   :class:`~repro.parallel.spec.ReplaySpec` with a seed derived from
+   (root seed, cell key), then runs the ordinary
+   :func:`~repro.loadgen.trace.run_trace` on the cell's events.
+4. :func:`merge_shard_results` folds every cell's records, usage
+   integrals, and tenant map into one :class:`ParallelReplayResult` in
+   sorted-cell-key order.
+
+Because cells, seeds, and the merge order are all independent of the
+shard count and worker count, the merged report is bit-identical across
+``--shards``/``--workers`` settings — parallelism never changes results,
+only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..loadgen.trace import InvocationTrace, TraceRunResult, run_trace
+from ..metrics.latency import LatencySummary, RequestRecord
+from ..metrics.usage import UsageSummary
+from .policy import ShardPolicy, get_shard_policy, stable_hash
+from .spec import ReplaySpec
+
+__all__ = [
+    "CellResult",
+    "ParallelReplayResult",
+    "ShardResult",
+    "merge_shard_results",
+    "partition_trace",
+    "replay_cell",
+    "run_parallel_replay",
+]
+
+#: One cell: ``(cell key, sub-trace)``.
+Cell = Tuple[str, InvocationTrace]
+
+
+@dataclass
+class CellResult:
+    """The replay of one cell, ready to cross a process boundary."""
+
+    key: str
+    offered: int
+    duration_s: float
+    records: List[RequestRecord]
+    tenant_of: Dict[str, str]
+    usage: Optional[UsageSummary]
+    latency: Optional[LatencySummary]
+    wall_s: float
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard (= one worker task) produced."""
+
+    index: int
+    cells: List[CellResult]
+    wall_s: float
+
+
+@dataclass
+class ParallelReplayResult(TraceRunResult):
+    """A merged :class:`TraceRunResult` plus replay-engine bookkeeping.
+
+    ``to_dict`` stays deterministic — it reports the policy and cell
+    count (functions of trace + policy alone) but *not* shard/worker
+    counts or wall-clock times, so two runs of the same trace at
+    different parallelism produce byte-identical reports.  The
+    scheduling facts live on the object (:attr:`shards`,
+    :attr:`workers`, :attr:`wall_s`, per-cell :attr:`cell_wall_s`) for
+    benchmarks and the CLI to surface separately.
+    """
+
+    policy_name: str = "tenant"
+    cell_count: int = 0
+    shards: int = 1
+    workers: int = 1
+    wall_s: float = 0.0
+    cell_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: Per-cell latency summaries folded via :meth:`LatencySummary.merge`
+    #: in sorted-cell-key order (``None`` when nothing completed).
+    merged_latency: Optional[LatencySummary] = None
+
+    def latency(self) -> LatencySummary:
+        """The merged latency summary (falls back to recomputation)."""
+        if self.merged_latency is not None:
+            return self.merged_latency
+        return super().latency()
+
+    def events_per_s(self) -> float:
+        """Replayed trace events per wall-clock second (host speed)."""
+        return self.offered / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["replay"] = {
+            "policy": self.policy_name,
+            "cells": self.cell_count,
+        }
+        return payload
+
+
+def partition_trace(
+    trace: InvocationTrace,
+    shards: int,
+    policy: Union[str, ShardPolicy] = "tenant",
+) -> List[List[Cell]]:
+    """Split a trace into ``shards`` batches of policy-defined cells.
+
+    Cells assign to shards by a stable hash of their key, so the same
+    trace + policy + shard count always yields the same batches; some
+    batches may be empty when cells are fewer than shards.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if isinstance(policy, str):
+        policy = get_shard_policy(policy)
+    batches: List[List[Cell]] = [[] for _ in range(shards)]
+    for key, cell_trace in policy.split(trace):
+        batches[stable_hash(f"shard-of:{key}") % shards].append((key, cell_trace))
+    return batches
+
+
+def replay_cell(spec: ReplaySpec, key: str, cell_trace: InvocationTrace) -> CellResult:
+    """Replay one cell in a fresh world built from the spec."""
+    start = time.perf_counter()
+    setup = spec.build_setup(cell_trace, key)
+    # Cell-qualified request ids stay unique in the merged record stream.
+    setup.system.request_id_prefix = f"{key}/"
+    result = run_trace(
+        setup.system,
+        cell_trace,
+        default_app=spec.default_app,
+        timeout_s=spec.timeout_s,
+        input_bytes=spec.input_bytes,
+        fanout=spec.fanout,
+    )
+    return CellResult(
+        key=key,
+        offered=result.offered,
+        duration_s=result.duration_s,
+        records=result.records,
+        tenant_of=result.tenant_of,
+        usage=result.usage,
+        latency=result.latency() if result.completed else None,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def _replay_shard(payload: Tuple[ReplaySpec, int, List[Cell]]) -> ShardResult:
+    """Worker entry point: replay one shard's cells back to back."""
+    spec, index, cells = payload
+    start = time.perf_counter()
+    results = [replay_cell(spec, key, cell_trace) for key, cell_trace in cells]
+    return ShardResult(
+        index=index, cells=results, wall_s=time.perf_counter() - start
+    )
+
+
+def merge_shard_results(
+    shard_results: List[ShardResult],
+    trace: InvocationTrace,
+    spec: ReplaySpec,
+) -> ParallelReplayResult:
+    """Fold per-shard cell results into one deterministic merged report.
+
+    Cells merge in sorted-key order — latency summaries fold through
+    :meth:`LatencySummary.merge`, usage integrals through
+    :meth:`UsageSummary.merge` — and records sort by
+    ``(submit_time, request_id)``, so the result — including
+    float-summation order inside the merged summaries — is independent
+    of how cells were batched into shards or which worker finished
+    first.
+    """
+    cells = sorted(
+        (cell for shard in shard_results for cell in shard.cells),
+        key=lambda cell: cell.key,
+    )
+    records = [record for cell in cells for record in cell.records]
+    records.sort(key=lambda record: (record.submit_time, record.request_id))
+    usage: Optional[UsageSummary] = None
+    latency: Optional[LatencySummary] = None
+    tenant_of: Dict[str, str] = {}
+    for cell in cells:
+        tenant_of.update(cell.tenant_of)
+        if cell.usage is not None:
+            usage = cell.usage if usage is None else usage.merge(cell.usage)
+        if cell.latency is not None:
+            latency = (
+                cell.latency if latency is None else latency.merge(cell.latency)
+            )
+    workflows = sorted({record.workflow for record in records})
+    return ParallelReplayResult(
+        system_name=spec.system_name,
+        workflow="+".join(workflows) if workflows else trace.name,
+        duration_s=max((cell.duration_s for cell in cells), default=0.0),
+        offered=sum(cell.offered for cell in cells),
+        records=records,
+        usage=usage,
+        tenant_of=tenant_of,
+        cell_count=len(cells),
+        cell_wall_s={cell.key: cell.wall_s for cell in cells},
+        merged_latency=latency,
+    )
+
+
+def run_parallel_replay(
+    trace: InvocationTrace,
+    spec: ReplaySpec,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    policy: Union[str, ShardPolicy] = "tenant",
+) -> ParallelReplayResult:
+    """Replay a trace sharded across worker processes and merge results.
+
+    ``workers`` defaults to ``min(shards, cpu_count)``; the run falls
+    back to the in-process serial path at one shard or one worker.  The
+    merged report depends only on ``(trace, spec, policy)``.
+    """
+    if isinstance(policy, str):
+        policy = get_shard_policy(policy)
+    if spec.default_app is None and any(e.app is None for e in trace.events):
+        raise ValueError(
+            f"trace {trace.name!r} has events naming no app and the replay "
+            f"spec has no default_app (--app on the CLI)"
+        )
+    if workers is None:
+        workers = min(shards, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    batches = partition_trace(trace, shards, policy)
+    payloads = [
+        (spec, index, cells)
+        for index, cells in enumerate(batches)
+        if cells
+    ]
+    start = time.perf_counter()
+    if workers == 1 or len(payloads) <= 1:
+        shard_results = [_replay_shard(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            shard_results = list(pool.map(_replay_shard, payloads))
+    wall_s = time.perf_counter() - start
+    merged = merge_shard_results(shard_results, trace, spec)
+    merged.policy_name = policy.name
+    merged.shards = shards
+    merged.workers = workers
+    merged.wall_s = wall_s
+    return merged

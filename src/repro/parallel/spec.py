@@ -1,0 +1,76 @@
+"""The picklable recipe a replay worker uses to rebuild a world.
+
+Worker processes cannot share the parent's :class:`Environment` or
+:class:`WorkflowSystem` (live simulation state does not pickle, and
+sharing it would serialize the run anyway).  Instead the engine ships a
+:class:`ReplaySpec` — plain configuration data — and every worker builds
+its own fresh environment, cluster, and system per cell via
+:meth:`ReplaySpec.build_setup`.
+
+Per-cell seeds derive deterministically from the spec's root seed and
+the cell key (never from shard or worker indices), so a cell simulates
+identically no matter which shard or process it lands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.cluster import ClusterConfig
+from ..loadgen.runner import DEFAULT_TIMEOUT_S
+from ..loadgen.trace import InvocationTrace
+from .policy import stable_hash
+
+__all__ = ["ReplaySpec"]
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything needed to replay one trace cell in a fresh world."""
+
+    #: Execution system registry name (``repro systems``).
+    system_name: str = "dataflower"
+    #: App used by events that name none (``None``: every event must name one).
+    default_app: Optional[str] = None
+    #: Placement policy registry name.
+    placement: str = "round_robin"
+    #: Root seed; per-cell system seeds derive from it via :meth:`cell_seed`.
+    seed: int = 0
+    #: Per-request timeout inside each cell.
+    timeout_s: float = DEFAULT_TIMEOUT_S
+    #: Input-size override for events that carry none.
+    input_bytes: Optional[float] = None
+    #: Fan-out override for events that carry none.
+    fanout: Optional[int] = None
+    #: Simulated cluster topology each cell gets a private copy of.
+    cluster_config: ClusterConfig = field(default_factory=ClusterConfig)
+    #: Extra system-config overrides (must be picklable scalars).
+    system_overrides: Optional[dict] = None
+
+    def cell_seed(self, cell_key: str) -> int:
+        """The system seed for one cell: stable in (root seed, key) only."""
+        return stable_hash(f"replay-seed:{self.seed}:{cell_key}")
+
+    def build_setup(self, cell_trace: InvocationTrace, cell_key: str):
+        """A fresh env + cluster + system with the cell's apps deployed."""
+        from ..experiments.common import make_setup  # local: avoid cycle
+
+        apps = list(cell_trace.apps())
+        if self.default_app and self.default_app not in apps:
+            apps.append(self.default_app)
+        if not apps:
+            raise ValueError(
+                f"cell {cell_key!r} of trace {cell_trace.name!r} names no "
+                f"apps and the spec has no default_app"
+            )
+        overrides = dict(self.system_overrides or {})
+        overrides["seed"] = self.cell_seed(cell_key)
+        return make_setup(
+            self.system_name,
+            self.default_app or apps[0],
+            cluster_config=self.cluster_config,
+            system_overrides=overrides,
+            placement=self.placement,
+            apps=apps,
+        )

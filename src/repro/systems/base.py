@@ -221,6 +221,9 @@ class WorkflowSystem(abc.ABC):
         self.deployments: Dict[str, Deployment] = {}
         self.records: List[RequestRecord] = []
         self._request_seq = 0
+        #: Prepended to generated request ids; sharded replay sets it per
+        #: shard cell so ids stay unique after merging.
+        self.request_id_prefix = ""
 
     # -- hooks ---------------------------------------------------------------
 
@@ -248,7 +251,7 @@ class WorkflowSystem(abc.ABC):
 
     def next_request_id(self, workflow_name: str) -> str:
         self._request_seq += 1
-        return f"{workflow_name}-r{self._request_seq}"
+        return f"{self.request_id_prefix}{workflow_name}-r{self._request_seq}"
 
     def submit(self, workflow_name: str, request: RequestSpec) -> "Event":
         """Run one invocation; the returned event fires with its record."""

@@ -183,6 +183,93 @@ def test_run_bad_arrivals_fails(capsys):
     assert "arrivals" in capsys.readouterr().err
 
 
+def test_replay_table_report(capsys):
+    from pathlib import Path
+
+    trace = Path(__file__).parent.parent / "examples/traces/mixed_tenants.csv"
+    code = main(["replay", str(trace), "--shards", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sharded replay report" in out
+    assert "events_per_s" in out
+    assert "acme" in out  # per-tenant breakdown survives the merge
+
+
+def test_replay_shard_count_invariant_json(tmp_path, capsys):
+    """--shards 4 and --shards 1 print the same merged report."""
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    reports = []
+    for shards in ("1", "4"):
+        code = main([
+            "replay", str(path), "--app", "wc", "--shards", shards,
+            "--format", "json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report.pop("parallel")["shards"] == int(shards)
+        reports.append(report)
+    assert reports[0] == reports[1]
+    assert reports[0]["replay"] == {"policy": "tenant", "cells": 2}
+    assert set(reports[0]["tenants"]) == {"a", "b"}
+
+
+def test_replay_appless_trace_needs_app(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    assert main(["replay", str(path)]) == 2
+    assert "--app" in capsys.readouterr().err
+
+
+def test_replay_rejects_bad_flags(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    path.write_text(SAMPLE_TRACE)
+    assert main(["replay", str(path), "--app", "wc", "--shards", "0"]) == 2
+    assert main(["replay", str(path), "--app", "wc", "--policy", "warp"]) == 2
+    assert main(["replay", "/no/such/trace.json", "--app", "wc"]) == 2
+    capsys.readouterr()
+
+
+def test_synth_writes_reproducible_csv(tmp_path, capsys):
+    args = [
+        "synth", "--tenants", "3", "--duration-s", "10", "--mean-rpm", "30",
+        "--apps", "wc", "--seed", "9",
+    ]
+    first = tmp_path / "a.csv"
+    second = tmp_path / "b.csv"
+    assert main(args + ["--output", str(first)]) == 0
+    assert main(args + ["--output", str(second)]) == 0
+    capsys.readouterr()
+    assert first.read_text() == second.read_text()
+    from repro.loadgen.trace import InvocationTrace
+
+    trace = InvocationTrace.from_csv(first.read_text())
+    assert len(trace) > 0
+    assert trace.apps() == ["wc"]
+
+
+def test_synth_seed_changes_trace(tmp_path, capsys):
+    base = ["synth", "--tenants", "2", "--duration-s", "10", "--mean-rpm",
+            "30", "--apps", "wc"]
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(base + ["--seed", "1", "--output", str(a)]) == 0
+    assert main(base + ["--seed", "2", "--output", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_text() != b.read_text()
+
+
+def test_synth_stdout_json_and_bad_args(capsys):
+    code = main(["synth", "--tenants", "2", "--duration-s", "5",
+                 "--mean-rpm", "20", "--seed", "3"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "synthetic"
+    assert main(["synth", "--tenants", "0"]) == 2
+    assert main(["synth", "--apps", "nope"]) == 2
+    capsys.readouterr()
+
+
 def test_validate_ok(tmp_path, capsys):
     path = tmp_path / "wf.dsl"
     path.write_text("""

@@ -16,7 +16,10 @@ DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
 def test_docs_exist():
     assert (ROOT / "README.md").is_file()
     names = {path.name for path in DOC_FILES}
-    assert {"architecture.md", "execution-model.md", "experiments.md"} <= names
+    assert {
+        "architecture.md", "execution-model.md", "experiments.md",
+        "scaling.md",
+    } <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)

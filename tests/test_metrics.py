@@ -147,6 +147,56 @@ def test_latency_summary_empty_raises():
         LatencySummary.from_records([])
 
 
+def test_latency_merge_equals_union():
+    """Merging split record-sets equals from_records on the union, exactly."""
+    latencies = [0.5, 3.0, 1.25, 2.0, 0.75, 4.5, 1.0]
+    records = [make_record(lat, f"r{i}") for i, lat in enumerate(latencies)]
+    for split in (1, 3, 5):
+        merged = LatencySummary.from_records(records[:split]).merge(
+            LatencySummary.from_records(records[split:])
+        )
+        union = LatencySummary.from_records(records)
+        assert merged == union
+        assert merged.mean_s == union.mean_s  # bit-identical, not approx
+        assert merged.p99_s == union.p99_s
+        assert merged.sigma_s == union.sigma_s
+
+
+def test_latency_merge_operator_and_errors():
+    a = LatencySummary.from_latencies([1.0, 2.0])
+    b = LatencySummary.from_latencies([3.0])
+    assert (a + b) == LatencySummary.from_latencies([1.0, 2.0, 3.0])
+    bare = LatencySummary(
+        count=1, mean_s=1.0, p50_s=1.0, p99_s=1.0, sigma_s=0.0, max_s=1.0
+    )
+    with pytest.raises(ValueError):
+        a.merge(bare)  # raw-constructed summary has no samples
+    with pytest.raises(TypeError):
+        a.merge("nope")
+
+
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=40),
+    st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_latency_merge_matches_union_property(left, right):
+    merged = LatencySummary.from_latencies(left).merge(
+        LatencySummary.from_latencies(right)
+    )
+    assert merged == LatencySummary.from_latencies(left + right)
+
+
+def test_latency_samples_stay_out_of_reports():
+    from repro.metrics.report import summary_to_dict
+
+    summary = LatencySummary.from_latencies([1.0, 2.0, 3.0])
+    assert summary.samples == (1.0, 2.0, 3.0)
+    assert set(summary_to_dict(summary)) == {
+        "count", "mean_s", "p50_s", "p99_s", "sigma_s", "max_s",
+    }
+
+
 # -- usage ------------------------------------------------------------------------
 
 
@@ -159,6 +209,17 @@ def test_usage_summary_per_request():
 def test_usage_summary_zero_requests_is_nan():
     usage = UsageSummary(memory_gbs=10.0, cache_mbs=1.0, completed_requests=0)
     assert math.isnan(usage.memory_gbs_per_request)
+
+
+def test_usage_merge_adds_integrals():
+    a = UsageSummary(memory_gbs=10.0, cache_mbs=100.0, completed_requests=5)
+    b = UsageSummary(memory_gbs=2.5, cache_mbs=30.0, completed_requests=3)
+    merged = a.merge(b)
+    assert merged == UsageSummary(12.5, 130.0, 8)
+    assert (a + b) == merged
+    assert merged.memory_gbs_per_request == pytest.approx(12.5 / 8)
+    with pytest.raises(TypeError):
+        a.merge(3.0)
 
 
 # -- report -----------------------------------------------------------------------

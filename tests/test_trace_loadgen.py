@@ -76,6 +76,58 @@ def test_to_json_round_trips():
     assert [e.app for e in again.events] == [e.app for e in trace.events]
 
 
+def test_csv_skips_blank_and_comment_lines():
+    text = """
+# replay trace for the wc app
+at_s,tenant,app
+
+0.0,a,wc
+# mid-file comment
+1.0,b,wc
+
+"""
+    trace = InvocationTrace.from_csv(text)
+    assert len(trace) == 2
+    assert trace.tenants() == ["a", "b"]
+
+
+def test_csv_malformed_row_names_line_number():
+    text = "at_s,tenant,app\n0.0,a,wc\nnot-a-number,b,wc\n"
+    with pytest.raises(ValueError, match="line 3"):
+        InvocationTrace.from_csv(text)
+    # A missing at_s on a later, comment-shifted line is located too.
+    text = "# header comment\nat_s,tenant\n1.0,a\n\n,b\n"
+    with pytest.raises(ValueError, match="line 5"):
+        InvocationTrace.from_csv(text)
+
+
+def test_csv_too_many_fields_rejected_with_line():
+    text = "at_s,tenant\n0.0,a\n1.0,b,wc,extra\n"
+    with pytest.raises(ValueError, match="line 3"):
+        InvocationTrace.from_csv(text)
+
+
+def test_csv_quoted_fields_survive():
+    # Quoted fields — embedded newlines included — are legal CSV and must
+    # round-trip through to_csv/from_csv.
+    trace = InvocationTrace(
+        events=[TraceEvent(at_s=1.0, tenant="acme,\nEU", app="wc")]
+    )
+    again = InvocationTrace.from_csv(trace.to_csv())
+    assert again.events[0].tenant == "acme,\nEU"
+
+
+def test_to_csv_round_trips():
+    trace = InvocationTrace.from_csv(CSV_TRACE, name="rt")
+    again = InvocationTrace.from_csv(trace.to_csv(), name="rt")
+    assert [e.at_s for e in again.events] == [e.at_s for e in trace.events]
+    assert [e.input_bytes for e in again.events] == [
+        e.input_bytes for e in trace.events
+    ]
+    assert [e.fanout for e in again.events] == [e.fanout for e in trace.events]
+    assert [e.seed for e in again.events] == [e.seed for e in trace.events]
+
+
 def test_event_validation():
     with pytest.raises(ValueError):
         TraceEvent(at_s=-1.0)
