@@ -31,6 +31,10 @@ Installed as a ``console_scripts`` entry (``repro``) and runnable as
     trace into cells by ``--policy``, replay ``--shards`` batches across
     ``--workers`` processes, and print one merged report that is
     bit-identical at any shard/worker count (``docs/scaling.md``).
+    ``--tenant-config`` makes the replay heterogeneous: each tenant's
+    cell runs under its own profile — system, placement, cluster, and
+    request limits — and the report tags per-tenant sections with the
+    profile used (``docs/tenancy.md``).
 
 ``synth``
     Generate a deterministic multi-tenant trace file (Azure-trace-style
@@ -112,9 +116,74 @@ def parse_arrivals(spec: str):
 # -- subcommands --------------------------------------------------------------------
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    """Print a report, or write it to ``output`` and say so."""
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[wrote {output}]")
+    else:
+        print(text)
+
+
+def _load_tenant_config(path: str, base_system: str, base_placement: str):
+    """Load + fail-fast-validate a ``--tenant-config`` file.
+
+    Validation happens here, against the system/placement registries,
+    so a profile naming an unknown system dies with a named-tenant
+    message at the CLI — never deep inside a replay worker process.
+    """
+    from .parallel.profiles import TenantConfig, TenantProfileError
+
+    try:
+        config = TenantConfig.load(path)
+        config.validate(base_system, base_placement)
+    except FileNotFoundError:
+        raise CliError(f"tenant config not found: {path}") from None
+    except OSError as exc:
+        raise CliError(f"cannot read tenant config {path}: {exc}") from None
+    except TenantProfileError as exc:
+        raise CliError(f"tenant config {path}: {exc}") from None
+    return config
+
+
+def _profile_table(spec, trace) -> str:
+    """The resolved per-tenant profile table a heterogeneous run echoes."""
+    rows = []
+    for tenant in trace.tenants():
+        resolved = spec.resolve(tenant)
+        rows.append(
+            [
+                tenant,
+                resolved.system,
+                resolved.placement,
+                resolved.timeout_s,
+                resolved.source,
+            ]
+        )
+    return render_table(
+        ["tenant", "system", "placement", "timeout_s", "source"],
+        rows,
+        title="tenant profiles",
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     kind, payload = parse_arrivals(args.arrivals)
+    if kind == "trace" and args.poisson:
+        raise CliError(
+            "--poisson only applies to constant/burst arrivals; trace "
+            "events carry their own timestamps"
+        )
+    if args.tenant_config:
+        if kind != "trace":
+            raise CliError(
+                "--tenant-config requires trace arrivals "
+                "(--arrivals trace:<file>); per-tenant profiles have no "
+                "meaning under single-tenant open/closed loops"
+            )
+        return _run_heterogeneous_trace(args, payload)
 
     deploy_apps = [args.app]
     if kind == "trace":
@@ -153,11 +222,6 @@ def cmd_run(args: argparse.Namespace) -> int:
             timeout_s=args.timeout_s,
         )
     else:
-        if args.poisson:
-            raise CliError(
-                "--poisson only applies to constant/burst arrivals; trace "
-                "events carry their own timestamps"
-            )
         result = run_trace(
             setup.system,
             payload,
@@ -175,12 +239,42 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.format == "json"
         else _run_report_table(payload_dict)
     )
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"[wrote {args.output}]")
+    _emit(text, args.output)
+    return 0
+
+
+def _replay_spec_from_args(args: argparse.Namespace):
+    """The ReplaySpec shared by ``repro replay`` and the heterogeneous
+    ``repro run`` path — one place to thread new spec fields through."""
+    from .parallel import ReplaySpec
+
+    return ReplaySpec(
+        system_name=args.system,
+        default_app=args.app,
+        placement=args.placement,
+        seed=args.seed,
+        timeout_s=args.timeout_s,
+        input_bytes=parse_size(args.input_bytes) if args.input_bytes else None,
+        fanout=args.fanout,
+    )
+
+
+def _run_heterogeneous_trace(args: argparse.Namespace, trace) -> int:
+    """``repro run --tenant-config``: per-tenant worlds via the replay
+    engine's serial path (one cell per tenant, merged report)."""
+    from .parallel import run_parallel_replay
+
+    config = _load_tenant_config(args.tenant_config, args.system, args.placement)
+    spec = _replay_spec_from_args(args).with_tenant_config(config)
+    result = run_parallel_replay(trace, spec, shards=1, workers=1)
+    payload = result.to_dict()
+    payload["app"] = args.app
+    payload["arrivals"] = args.arrivals
+    if args.format == "json":
+        text = render_json(payload)
     else:
-        print(text)
+        text = _profile_table(spec, trace) + "\n\n" + _run_report_table(payload)
+    _emit(text, args.output)
     return 0
 
 
@@ -248,26 +342,36 @@ def _load_trace(path: str) -> InvocationTrace:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from .parallel import ReplaySpec, get_shard_policy, run_parallel_replay
+    from .parallel import get_shard_policy, run_parallel_replay
+    from .systems.placement import get_policy as get_placement_policy
 
     trace = _load_trace(args.trace)
     try:
         policy = get_shard_policy(args.policy)
     except ValueError as exc:
         raise CliError(str(exc)) from None
+    try:
+        get_placement_policy(args.placement)
+    except (KeyError, ValueError) as exc:
+        raise CliError(str(exc.args[0] if exc.args else exc)) from None
     if args.shards < 1:
         raise CliError("--shards must be >= 1")
     if args.workers is not None and args.workers < 1:
         raise CliError("--workers must be >= 1")
-    spec = ReplaySpec(
-        system_name=args.system,
-        default_app=args.app,
-        placement=args.placement,
-        seed=args.seed,
-        timeout_s=args.timeout_s,
-        input_bytes=parse_size(args.input_bytes) if args.input_bytes else None,
-        fanout=args.fanout,
-    )
+    spec = _replay_spec_from_args(args)
+    if args.tenant_config:
+        if policy.name != "tenant":
+            # Profiles key on tenants; under other partitions a tenant's
+            # events can land in mixed or multiple cells, and the echoed
+            # profile table would not describe what actually ran.
+            raise CliError(
+                f"--tenant-config requires --policy tenant (got "
+                f"{args.policy!r}): profiles resolve per tenant cell"
+            )
+        config = _load_tenant_config(
+            args.tenant_config, args.system, args.placement
+        )
+        spec = spec.with_tenant_config(config)
     result = run_parallel_replay(
         trace, spec, shards=args.shards, workers=args.workers, policy=policy
     )
@@ -284,17 +388,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
         "wall_s": result.wall_s,
         "events_per_s": result.events_per_s(),
     }
-    text = (
-        render_json(payload)
-        if args.format == "json"
-        else _replay_report_table(payload)
-    )
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"[wrote {args.output}]")
+    if args.format == "json":
+        text = render_json(payload)
     else:
-        print(text)
+        text = _replay_report_table(payload)
+        if spec.has_profiles:
+            # Echo the resolved profile table so heterogeneous runs are
+            # auditable at a glance.
+            text = _profile_table(spec, trace) + "\n\n" + text
+    _emit(text, args.output)
     return 0
 
 
@@ -452,7 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
                      "closed:<clients>:<s> | trace:<file> "
                      "(default: constant:60:20)")
     run.add_argument("--placement", default="round_robin",
-                     help="placement policy (round_robin, single_node, hashed)")
+                     help="placement policy (round_robin, single_node, "
+                     "hashed, offset:<n>)")
+    run.add_argument("--tenant-config", default=None,
+                     help="per-tenant profile file (JSON or YAML-lite; "
+                     "requires trace arrivals, see docs/tenancy.md)")
     run.add_argument("--input-bytes", default=None,
                      help="request input size, e.g. 4MB (default: app default)")
     run.add_argument("--fanout", type=int, default=None,
@@ -481,7 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution system (default: dataflower)")
     replay.add_argument("--placement", default="round_robin",
                         help="placement policy (round_robin, single_node, "
-                        "hashed)")
+                        "hashed, offset:<n>)")
+    replay.add_argument("--tenant-config", default=None,
+                        help="per-tenant profile file: default profile + "
+                        "per-tenant system/placement/limit overrides "
+                        "(JSON or YAML-lite, see docs/tenancy.md)")
     replay.add_argument("--shards", type=int, default=1,
                         help="cell batches to replay (default: 1, serial)")
     replay.add_argument("--workers", type=int, default=None,

@@ -80,6 +80,16 @@ class InvocationTrace:
     def tenants(self) -> List[str]:
         return sorted({event.tenant for event in self.events})
 
+    def sole_tenant(self) -> Optional[str]:
+        """The single tenant every event shares, or ``None`` when mixed/empty.
+
+        Tenant-profile resolution keys on this: a cell whose events all
+        belong to one tenant gets that tenant's profile, while mixed
+        cells (e.g. timeslice sharding) fall back to the default.
+        """
+        tenants = {event.tenant for event in self.events}
+        return tenants.pop() if len(tenants) == 1 else None
+
     def apps(self) -> List[str]:
         """Distinct app names named by events (``None`` defaults excluded)."""
         return sorted({event.app for event in self.events if event.app})

@@ -82,6 +82,22 @@ def summary_to_dict(summary: Any) -> dict:
     return out
 
 
+def tag_tenant_profiles(payload: dict, profiles: dict) -> dict:
+    """Annotate a report's per-tenant sections with resolved profiles.
+
+    Heterogeneous replays (``--tenant-config``) attach each tenant's
+    resolved profile tag — system, placement, source layer — to its
+    ``tenants`` section so mixed-system runs stay auditable.  Tenants
+    absent from the report (no records) are skipped; the payload is
+    returned for chaining.
+    """
+    tenants = payload.get("tenants") or {}
+    for tenant, tag in profiles.items():
+        if tenant in tenants:
+            tenants[tenant]["profile"] = dict(tag)
+    return payload
+
+
 def render_json(payload: Any, indent: int = 2) -> str:
     """Serialize a report payload as strict JSON (NaN/inf become null)."""
 

@@ -26,14 +26,19 @@ from .policy import (
     get_shard_policy,
     shard_policy_names,
 )
-from .spec import ReplaySpec
+from .profiles import TenantConfig, TenantProfile, TenantProfileError
+from .spec import ReplaySpec, ResolvedProfile
 
 __all__ = [
     "CellResult",
     "ParallelReplayResult",
     "ReplaySpec",
+    "ResolvedProfile",
     "ShardPolicy",
     "ShardResult",
+    "TenantConfig",
+    "TenantProfile",
+    "TenantProfileError",
     "TenantShardPolicy",
     "TimeSliceShardPolicy",
     "get_shard_policy",

@@ -10,9 +10,12 @@ The pipeline:
 3. Each shard replays in a worker process (``ProcessPoolExecutor``) — or
    inline when ``workers == 1`` / ``shards == 1``, the serial fallback.
    A worker rebuilds a fresh simulated world per cell from the picklable
-   :class:`~repro.parallel.spec.ReplaySpec` with a seed derived from
-   (root seed, cell key), then runs the ordinary
-   :func:`~repro.loadgen.trace.run_trace` on the cell's events.
+   :class:`~repro.parallel.spec.ReplaySpec` — under the cell tenant's
+   resolved :class:`~repro.parallel.profiles.TenantProfile`, so tenants
+   may replay on different systems, placements, and clusters — with a
+   seed derived from (root seed, cell key, resolved profile), then runs
+   the ordinary :func:`~repro.loadgen.trace.run_trace` on the cell's
+   events.
 4. :func:`merge_shard_results` folds every cell's records, usage
    integrals, and tenant map into one :class:`ParallelReplayResult` in
    sorted-cell-key order.
@@ -63,6 +66,9 @@ class CellResult:
     usage: Optional[UsageSummary]
     latency: Optional[LatencySummary]
     wall_s: float
+    #: Audit tag of the resolved tenant profile this cell replayed under
+    #: (:meth:`~repro.parallel.spec.ResolvedProfile.tag`).
+    profile: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,6 +102,11 @@ class ParallelReplayResult(TraceRunResult):
     #: Per-cell latency summaries folded via :meth:`LatencySummary.merge`
     #: in sorted-cell-key order (``None`` when nothing completed).
     merged_latency: Optional[LatencySummary] = None
+    #: tenant -> resolved-profile tag, populated only when the spec
+    #: carried tenant profiles (heterogeneous replay); functions of
+    #: (trace, spec) alone, so including them in reports stays
+    #: shard-invariant.
+    tenant_profile_tags: Dict[str, dict] = field(default_factory=dict)
 
     def latency(self) -> LatencySummary:
         """The merged latency summary (falls back to recomputation)."""
@@ -108,11 +119,19 @@ class ParallelReplayResult(TraceRunResult):
         return self.offered / self.wall_s if self.wall_s > 0 else 0.0
 
     def to_dict(self) -> dict:
+        from ..metrics.report import tag_tenant_profiles
+
         payload = super().to_dict()
         payload["replay"] = {
             "policy": self.policy_name,
             "cells": self.cell_count,
         }
+        if self.tenant_profile_tags:
+            payload["replay"]["profiles"] = {
+                tenant: dict(tag)
+                for tenant, tag in sorted(self.tenant_profile_tags.items())
+            }
+            tag_tenant_profiles(payload, self.tenant_profile_tags)
         return payload
 
 
@@ -138,18 +157,25 @@ def partition_trace(
 
 
 def replay_cell(spec: ReplaySpec, key: str, cell_trace: InvocationTrace) -> CellResult:
-    """Replay one cell in a fresh world built from the spec."""
+    """Replay one cell in a fresh world built from the spec.
+
+    The cell replays under its tenant's resolved profile: system,
+    placement, cluster, and request defaults may all differ per tenant
+    (heterogeneous tenancy), but resolution is a pure function of
+    (spec, cell), so shard invariance is preserved.
+    """
     start = time.perf_counter()
-    setup = spec.build_setup(cell_trace, key)
+    resolved = spec.resolve(key, cell_trace)
+    setup = spec.build_setup(cell_trace, key, resolved=resolved)
     # Cell-qualified request ids stay unique in the merged record stream.
     setup.system.request_id_prefix = f"{key}/"
     result = run_trace(
         setup.system,
         cell_trace,
         default_app=spec.default_app,
-        timeout_s=spec.timeout_s,
-        input_bytes=spec.input_bytes,
-        fanout=spec.fanout,
+        timeout_s=resolved.timeout_s,
+        input_bytes=resolved.input_bytes,
+        fanout=resolved.fanout,
     )
     return CellResult(
         key=key,
@@ -160,6 +186,7 @@ def replay_cell(spec: ReplaySpec, key: str, cell_trace: InvocationTrace) -> Cell
         usage=result.usage,
         latency=result.latency() if result.completed else None,
         wall_s=time.perf_counter() - start,
+        profile=resolved.tag(),
     )
 
 
@@ -206,8 +233,21 @@ def merge_shard_results(
                 cell.latency if latency is None else latency.merge(cell.latency)
             )
     workflows = sorted({record.workflow for record in records})
+    profile_tags: Dict[str, dict] = {}
+    system_name = spec.system_name
+    if spec.has_profiles:
+        for cell in cells:
+            for tenant in sorted(set(cell.tenant_of.values())):
+                profile_tags[tenant] = cell.profile
+        # The headline system field must name what actually ran, not the
+        # base spec's default a profile may have overridden everywhere.
+        systems = sorted(
+            {str(cell.profile["system"]) for cell in cells if cell.profile}
+        )
+        if systems:
+            system_name = "+".join(systems)
     return ParallelReplayResult(
-        system_name=spec.system_name,
+        system_name=system_name,
         workflow="+".join(workflows) if workflows else trace.name,
         duration_s=max((cell.duration_s for cell in cells), default=0.0),
         offered=sum(cell.offered for cell in cells),
@@ -217,6 +257,7 @@ def merge_shard_results(
         cell_count=len(cells),
         cell_wall_s={cell.key: cell.wall_s for cell in cells},
         merged_latency=latency,
+        tenant_profile_tags=profile_tags,
     )
 
 
@@ -235,6 +276,15 @@ def run_parallel_replay(
     """
     if isinstance(policy, str):
         policy = get_shard_policy(policy)
+    if spec.has_profiles and policy.name != "tenant":
+        # Profiles key on tenant cells.  Under other partitions the same
+        # tenant's events could run under different profiles depending on
+        # which cells they share with other tenants, and the merged
+        # per-tenant tags could not describe what actually ran.
+        raise ValueError(
+            f"tenant profiles require the 'tenant' shard policy, got "
+            f"{policy.name!r}"
+        )
     if spec.default_app is None and any(e.app is None for e in trace.events):
         raise ValueError(
             f"trace {trace.name!r} has events naming no app and the replay "

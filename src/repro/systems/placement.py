@@ -75,7 +75,28 @@ POLICIES: Dict[str, PlacementPolicy] = {
 }
 
 
+def policy_names() -> List[str]:
+    """Every placement spec the CLI/profile layer accepts."""
+    return list(POLICIES) + ["offset:<n>"]
+
+
 def get_policy(name: str) -> PlacementPolicy:
-    if name not in POLICIES:
-        raise KeyError(f"unknown placement policy {name!r}; choose from {list(POLICIES)}")
-    return POLICIES[name]
+    """Resolve a placement spec: a registry name or ``offset:<n>``."""
+    kind, sep, arg = name.partition(":")
+    if kind == "offset":
+        try:
+            return offset_round_robin(int(arg) if arg else 0)
+        except ValueError:
+            raise ValueError(
+                f"bad placement policy {name!r}: offset takes an integer"
+            ) from None
+    if sep:
+        raise KeyError(
+            f"placement policy {kind!r} takes no ':'-argument "
+            f"(got {name!r}); choose from {policy_names()}"
+        )
+    if kind not in POLICIES:
+        raise KeyError(
+            f"unknown placement policy {name!r}; choose from {policy_names()}"
+        )
+    return POLICIES[kind]

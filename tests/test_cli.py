@@ -230,6 +230,213 @@ def test_replay_rejects_bad_flags(tmp_path, capsys):
     capsys.readouterr()
 
 
+TENANT_CONFIG = """
+{
+  "default": {"placement": "round_robin"},
+  "tenants": {
+    "a": {"system": "faasflow", "placement": "hashed"},
+    "b": {"system": "sonic", "placement": "offset:1", "timeout_s": 30}
+  }
+}
+"""
+
+
+def _write_tenant_fixtures(tmp_path):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    config_path = tmp_path / "profiles.json"
+    config_path.write_text(TENANT_CONFIG)
+    return trace_path, config_path
+
+
+def test_replay_tenant_config_tags_report(tmp_path, capsys):
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path), "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["tenants"]["a"]["profile"] == {
+        "system": "faasflow", "placement": "hashed", "source": "tenant",
+    }
+    assert report["replay"]["profiles"]["b"]["system"] == "sonic"
+    assert report["replay"]["profiles"]["b"]["timeout_s"] == 30.0
+
+
+def test_replay_tenant_config_echoes_profile_table(tmp_path, capsys):
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tenant profiles" in out
+    assert "faasflow" in out and "hashed" in out
+    assert "sharded replay report" in out
+
+
+def test_replay_tenant_config_shard_invariant(tmp_path, capsys):
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    reports = []
+    for shards in ("1", "4"):
+        code = main([
+            "replay", str(trace_path), "--app", "wc", "--shards", shards,
+            "--tenant-config", str(config_path), "--format", "json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        report.pop("parallel")
+        reports.append(report)
+    assert reports[0] == reports[1]
+
+
+def test_replay_tenant_config_unknown_system_fails_fast(tmp_path, capsys):
+    """ISSUE satellite: a bad profile dies at the CLI with the tenant's
+    name, not deep inside a worker process."""
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    config_path = tmp_path / "bad.json"
+    config_path.write_text('{"tenants": {"a": {"system": "fooflow"}}}')
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "tenant 'a'" in err
+    assert "unknown system 'fooflow'" in err
+
+
+def test_replay_tenant_config_unknown_placement_fails_fast(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    config_path = tmp_path / "bad.json"
+    config_path.write_text('{"tenants": {"a": {"placement": "warp"}}}')
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "tenant 'a'" in err
+    assert "placement" in err
+
+
+def test_replay_tenant_config_requires_tenant_policy(tmp_path, capsys):
+    """Profiles key on tenant cells; other partitions would make the
+    echoed profile table lie about what actually ran."""
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path), "--policy", "timeslice:30",
+    ])
+    assert code == 2
+    assert "--policy tenant" in capsys.readouterr().err
+
+
+def test_run_tenant_config_still_rejects_poisson(tmp_path, capsys):
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    code = main([
+        "run", "--app", "wc", "--arrivals", f"trace:{trace_path}",
+        "--tenant-config", str(config_path), "--poisson",
+    ])
+    assert code == 2
+    assert "--poisson" in capsys.readouterr().err
+
+
+def test_replay_tenant_config_bad_json_names_path_once(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    config_path = tmp_path / "bad.json"
+    config_path.write_text("{nope")
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid JSON" in err
+    assert err.count(str(config_path)) == 1
+
+
+def test_replay_tenant_config_missing_file(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(tmp_path / "nope.json"),
+    ])
+    assert code == 2
+    assert "tenant config not found" in capsys.readouterr().err
+    # A directory (or any other unreadable path) gets the clean CLI
+    # error too, not a raw traceback.
+    code = main([
+        "replay", str(trace_path), "--app", "wc",
+        "--tenant-config", str(tmp_path),
+    ])
+    assert code == 2
+    assert "tenant config" in capsys.readouterr().err
+
+
+def test_replay_rejects_bad_base_placement(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(SAMPLE_TRACE)
+    code = main([
+        "replay", str(trace_path), "--app", "wc", "--placement", "warp",
+    ])
+    assert code == 2
+    assert "placement" in capsys.readouterr().err
+
+
+def test_run_tenant_config_requires_trace_arrivals(tmp_path, capsys):
+    config_path = tmp_path / "profiles.json"
+    config_path.write_text(TENANT_CONFIG)
+    code = main([
+        "run", "--app", "wc", "--arrivals", "constant:30:5",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 2
+    assert "--tenant-config requires trace arrivals" in (
+        capsys.readouterr().err
+    )
+
+
+def test_run_trace_with_tenant_config(tmp_path, capsys):
+    trace_path, config_path = _write_tenant_fixtures(tmp_path)
+    code = main([
+        "run", "--app", "wc", "--arrivals", f"trace:{trace_path}",
+        "--tenant-config", str(config_path), "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["app"] == "wc"
+    assert report["tenants"]["a"]["profile"]["system"] == "faasflow"
+    code = main([
+        "run", "--app", "wc", "--arrivals", f"trace:{trace_path}",
+        "--tenant-config", str(config_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tenant profiles" in out and "run report" in out
+
+
+def test_example_tenant_config_validates_and_runs(capsys):
+    from pathlib import Path
+
+    root = Path(__file__).parent.parent
+    code = main([
+        "replay", str(root / "examples/traces/mixed_tenants.csv"),
+        "--tenant-config", str(root / "examples/tenant_profiles.json"),
+        "--shards", "2", "--format", "json",
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["tenants"]["acme"]["profile"]["system"] == "faasflow"
+    assert report["tenants"]["initech"]["profile"]["source"] == "tenant"
+
+
 def test_synth_writes_reproducible_csv(tmp_path, capsys):
     args = [
         "synth", "--tenants", "3", "--duration-s", "10", "--mean-rpm", "30",

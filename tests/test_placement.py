@@ -1,0 +1,128 @@
+"""Unit tests for every placement policy in ``systems/placement.py``."""
+
+import inspect
+
+import pytest
+
+from repro.apps import get_app
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.sim.environment import Environment
+from repro.systems.placement import (
+    POLICIES,
+    get_policy,
+    hashed,
+    offset_round_robin,
+    policy_names,
+    round_robin,
+    single_node,
+)
+
+ALL_POLICIES = [round_robin, single_node, hashed, offset_round_robin(2)]
+POLICY_IDS = ["round_robin", "single_node", "hashed", "offset:2"]
+
+
+@pytest.fixture()
+def workers():
+    env = Environment()
+    return Cluster(env, ClusterConfig(worker_count=3)).workers
+
+
+@pytest.fixture(params=["wc", "img", "etl"])
+def workflow(request):
+    return get_app(request.param).build()
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+def test_policy_covers_every_function(policy, workflow, workers):
+    placement = policy(workflow, workers)
+    assert set(placement) == set(workflow.functions)
+    assert all(node in workers for node in placement.values())
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+def test_policy_is_deterministic(policy, workflow, workers):
+    assert policy(workflow, workers) == policy(workflow, workers)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=POLICY_IDS)
+def test_policy_rejects_empty_workers(policy, workflow):
+    with pytest.raises(ValueError):
+        policy(workflow, [])
+
+
+def test_single_node_uses_first_worker(workflow, workers):
+    placement = single_node(workflow, workers)
+    assert set(placement.values()) == {workers[0]}
+
+
+def test_round_robin_spreads_in_topological_order(workers):
+    workflow = get_app("wc").build()
+    order = workflow.topological_order()
+    placement = round_robin(workflow, workers)
+    for index, name in enumerate(order):
+        assert placement[name] is workers[index % len(workers)]
+
+
+def test_offset_shifts_round_robin(workers):
+    workflow = get_app("wc").build()
+    base = round_robin(workflow, workers)
+    shifted = offset_round_robin(1)(workflow, workers)
+    order = workflow.topological_order()
+    for index, name in enumerate(order):
+        assert shifted[name] is workers[(index + 1) % len(workers)]
+    assert offset_round_robin(0)(workflow, workers) == base
+    # Offsets wrap modulo the worker count.
+    assert offset_round_robin(len(workers))(workflow, workers) == base
+
+
+def test_hashed_depends_only_on_function_names(workers):
+    a = hashed(get_app("wc").build(), workers)
+    b = hashed(get_app("wc").build(), workers)
+    assert {k: v.name for k, v in a.items()} == {
+        k: v.name for k, v in b.items()
+    }
+
+
+# -- registry / CLI agreement -------------------------------------------------
+
+
+def test_registry_resolves_every_named_policy():
+    for name in POLICIES:
+        assert get_policy(name) is POLICIES[name]
+
+
+def test_get_policy_parses_offset_specs(workflow, workers):
+    placement = get_policy("offset:2")(workflow, workers)
+    assert placement == offset_round_robin(2)(workflow, workers)
+    # Bare "offset" means offset 0 == round_robin.
+    assert get_policy("offset")(workflow, workers) == round_robin(
+        workflow, workers
+    )
+
+
+def test_get_policy_rejects_bad_specs():
+    with pytest.raises(KeyError):
+        get_policy("bogus")
+    with pytest.raises(KeyError):
+        get_policy("round_robin:3")  # non-parameterized policy with an arg
+    with pytest.raises(KeyError):
+        get_policy("round_robin:")  # trailing colon is not a valid name
+    with pytest.raises(ValueError):
+        get_policy("offset:x")
+
+
+def test_policy_names_cover_registry():
+    names = policy_names()
+    for name in POLICIES:
+        assert name in names
+    assert "offset:<n>" in names
+
+
+def test_cli_help_names_every_policy():
+    """The --placement help text and the registry must not drift apart."""
+    import repro.cli as cli
+
+    source = inspect.getsource(cli)
+    for name in POLICIES:
+        assert name in source, f"policy {name!r} missing from CLI help"
+    assert "offset:<n>" in source
