@@ -1,61 +1,93 @@
-"""Bench: sharded replay wall-clock throughput at 1 and N workers.
+"""Bench: replay engine throughput — streaming work-stealing vs baselines.
 
-Times the :mod:`repro.parallel` engine on a synthesized multi-tenant
-trace, serial versus a 4-shard process-pool run, and prints one
-machine-greppable ``BENCH {json}`` line so the replay-throughput
-trajectory is tracked across commits.  The speedup assertion scales
-with the cores actually available — on a single-core CI runner the
-parallel run only has to stay within overhead bounds, while on 4+
-cores it must clear the 1.5x bar.
+Two benches, each printing one machine-greppable ``BENCH {json}`` line
+so the replay-throughput trajectory is tracked across commits
+(``tools/bench_replay.py`` collects the points into
+``BENCH_replay.json``):
+
+``replay_throughput``
+    Serial versus the streamed process-pool engine on a mildly skewed
+    multi-tenant trace — the end-to-end scale-up number.
+``replay_skew_stealing``
+    The tentpole comparison: a deliberately skewed trace (one ``hot``
+    tenant with ~10x any other tenant's events) replayed by the legacy
+    static hash-batched engine (``stream=False``) versus the
+    cell-granular work-stealing scheduler.  Static batching strands the
+    hot tenant's shard with extra cells (``max_shard_events`` vs the
+    steal-optimal ``max_cell_events`` is the deterministic headroom);
+    work stealing starts the hot cell first and packs the rest around
+    it.  Both engines must produce byte-identical merged reports.
+
+Assertions scale with the cores actually available — on a single-core
+runner the comparisons only bound overhead, while at 4+ cores the
+work-stealing engine must clear the 1.3x bar (the ISSUE's acceptance
+criterion).  ``BENCH_REPLAY_SCALE`` scales trace duration (1.0 ~= 900
+events; ~114 gives the 100k-event acceptance trace).
 """
 
+import dataclasses
 import json
 import os
 import time
 
-from repro.loadgen.trace import synthesize_trace
-from repro.parallel import ReplaySpec, run_parallel_replay
+from repro.loadgen.trace import InvocationTrace, synthesize_trace
+from repro.metrics.report import render_json
+from repro.parallel import ReplaySpec, partition_trace, run_parallel_replay
 
-TENANTS = 8
-DURATION_S = 90.0
-MEAN_RPM = 40.0
+SCALE = float(os.environ.get("BENCH_REPLAY_SCALE", "1.0"))
 SHARDS = 4
+WORKERS = 4
+SMALL_TENANTS = 24
+SKEW_SEED = 7
 
 
-def test_bench_replay_throughput(benchmark):
+def make_skewed_trace(scale: float = None, small_tenants: int = SMALL_TENANTS,
+                      seed: int = SKEW_SEED) -> InvocationTrace:
+    """A deliberately skewed trace: ``small_tenants`` uniform tenants
+    plus one ``hot`` tenant with ~10x any small tenant's event count."""
+    if scale is None:
+        scale = SCALE
+    duration_s = 60.0 * scale
+    smalls = synthesize_trace(
+        tenants=small_tenants, duration_s=duration_s, mean_rpm=25.0,
+        apps=["wc"], rate_sigma=0.0, seed=seed, name="skew-small",
+    )
+    hot = synthesize_trace(
+        tenants=1, duration_s=duration_s, mean_rpm=250.0,
+        apps=["wc"], rate_sigma=0.0, seed=seed + 1, name="skew-hot",
+    )
+    events = list(smalls.events) + [
+        dataclasses.replace(event, tenant="hot") for event in hot.events
+    ]
+    return InvocationTrace(events=events, name="skew")
+
+
+def throughput_point(scale: float = None) -> dict:
+    """Serial vs streamed-parallel wall clock on a lognormal trace."""
+    if scale is None:
+        scale = SCALE
     trace = synthesize_trace(
-        tenants=TENANTS,
-        duration_s=DURATION_S,
-        mean_rpm=MEAN_RPM,
-        apps=["wc", "etl"],
-        seed=7,
-        name="bench-replay",
+        tenants=8, duration_s=90.0 * scale, mean_rpm=40.0,
+        apps=["wc", "etl"], seed=7, name="bench-replay",
     )
     spec = ReplaySpec(default_app="wc")
     cores = os.cpu_count() or 1
-    workers = min(SHARDS, cores)
+    workers = min(WORKERS, cores)
 
     start = time.perf_counter()
     serial = run_parallel_replay(trace, spec, shards=1, workers=1)
     serial_wall = time.perf_counter() - start
-
-    parallel = benchmark.pedantic(
-        run_parallel_replay,
-        args=(trace, spec),
-        kwargs={"shards": SHARDS, "workers": workers},
-        rounds=1,
-        iterations=1,
-    )
+    parallel = run_parallel_replay(trace, spec, shards=SHARDS, workers=workers)
 
     # Parallelism must never change results: merged reports are identical.
     assert parallel.to_dict() == serial.to_dict()
     assert len(parallel.completed) == len(trace)
 
     speedup = serial_wall / parallel.wall_s if parallel.wall_s > 0 else 0.0
-    point = {
+    return {
         "bench": "replay_throughput",
         "events": len(trace),
-        "tenants": TENANTS,
+        "tenants": 8,
         "shards": SHARDS,
         "workers": workers,
         "cpu_count": cores,
@@ -65,13 +97,92 @@ def test_bench_replay_throughput(benchmark):
         "parallel_events_per_s": round(parallel.events_per_s(), 2),
         "speedup": round(speedup, 3),
     }
+
+
+def replay_skewed(stream: bool, scale: float = None, workers: int = WORKERS,
+                  shards: int = SHARDS):
+    """One skew-bench engine run; returns the merged result."""
+    trace = make_skewed_trace(scale)
+    spec = ReplaySpec(default_app="wc", seed=1)
+    return run_parallel_replay(
+        trace, spec, shards=shards, workers=workers, stream=stream
+    )
+
+
+def skew_point(scale: float = None, workers: int = WORKERS) -> dict:
+    """Static-batched vs work-stealing on the skewed trace, one point."""
+    trace = make_skewed_trace(scale)
+    spec = ReplaySpec(default_app="wc", seed=1)
+    cores = os.cpu_count() or 1
+    batches = partition_trace(trace, SHARDS)
+    shard_loads = [sum(len(cell) for _, cell in batch) for batch in batches]
+    cell_loads = [len(cell) for batch in batches for _, cell in batch]
+
+    batched = run_parallel_replay(
+        trace, spec, shards=SHARDS, workers=workers, stream=False
+    )
+    streamed = run_parallel_replay(
+        trace, spec, shards=SHARDS, workers=workers, stream=True
+    )
+    identical = render_json(batched.to_dict()) == render_json(streamed.to_dict())
+    speedup = (
+        batched.wall_s / streamed.wall_s if streamed.wall_s > 0 else 0.0
+    )
+    return {
+        "bench": "replay_skew_stealing",
+        "events": len(trace),
+        "tenants": len(trace.tenants()),
+        "hot_events": sum(1 for e in trace.events if e.tenant == "hot"),
+        "shards": SHARDS,
+        "workers": workers,
+        "cpu_count": cores,
+        # Deterministic imbalance: the busiest static shard vs the
+        # busiest single cell (= the steal-optimal critical path).
+        "max_shard_events": max(shard_loads),
+        "max_cell_events": max(cell_loads),
+        "batched_wall_s": round(batched.wall_s, 4),
+        "streamed_wall_s": round(streamed.wall_s, 4),
+        "batched_events_per_s": round(
+            len(trace) / batched.wall_s if batched.wall_s > 0 else 0.0, 2
+        ),
+        "streamed_events_per_s": round(streamed.events_per_s(), 2),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    }
+
+
+def test_bench_replay_throughput(benchmark):
+    point = benchmark.pedantic(throughput_point, rounds=1, iterations=1)
     print("BENCH " + json.dumps(point, sort_keys=True))
     benchmark.extra_info.update(point)
 
+    cores = point["cpu_count"]
     if cores >= 4:
-        assert speedup > 1.5, f"expected >1.5x at {workers} workers: {point}"
+        assert point["speedup"] > 1.5, point
     elif cores >= 2:
-        assert speedup > 1.1, f"expected >1.1x at {workers} workers: {point}"
+        assert point["speedup"] > 1.1, point
     else:
         # Single core: no speedup possible; bound the pool overhead.
-        assert parallel.wall_s < serial_wall * 3.0, point
+        assert point["parallel_wall_s"] < point["serial_wall_s"] * 3.0, point
+
+
+def test_bench_replay_skew_stealing(benchmark):
+    point = benchmark.pedantic(skew_point, rounds=1, iterations=1)
+    print("BENCH " + json.dumps(point, sort_keys=True))
+    benchmark.extra_info.update(point)
+
+    # Scheduling must never leak into results, at any core count.
+    assert point["identical"], point
+    # The skew must be real, or the comparison measures nothing: the
+    # busiest static shard carries the hot cell plus strays.
+    assert point["max_cell_events"] * 1.5 < point["max_shard_events"], point
+    cores = point["cpu_count"]
+    if cores >= 4:
+        # The ISSUE acceptance bar: work stealing beats static batching
+        # by >= 1.3x on the skewed trace at 4 workers.
+        assert point["speedup"] >= 1.3, point
+    elif cores >= 2:
+        assert point["speedup"] >= 1.1, point
+    else:
+        # Single core: same work either way; bound scheduling overhead.
+        assert point["streamed_wall_s"] < point["batched_wall_s"] * 1.5, point

@@ -27,10 +27,14 @@ Installed as a ``console_scripts`` entry (``repro``) and runnable as
       (see :mod:`repro.loadgen.trace`).
 
 ``replay``
-    Sharded parallel trace replay (:mod:`repro.parallel`): partition a
-    trace into cells by ``--policy``, replay ``--shards`` batches across
-    ``--workers`` processes, and print one merged report that is
-    bit-identical at any shard/worker count (``docs/scaling.md``).
+    Streaming parallel trace replay (:mod:`repro.parallel`): partition a
+    trace into cells by ``--policy`` and replay them across ``--workers``
+    processes — by default through the cell-granular work-stealing
+    scheduler with an online merge (``--stream``); ``--no-stream`` falls
+    back to the static hash-batched engine (``--shards`` batches).  The
+    merged report is bit-identical at any shard/worker/scheduling
+    setting (``docs/scaling.md``); wall-clock and peak-RSS facts print
+    separately under ``parallel``.
     ``--tenant-config`` makes the replay heterogeneous: each tenant's
     cell runs under its own profile — system, placement, cluster, and
     request limits — and the report tags per-tenant sections with the
@@ -373,20 +377,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
         spec = spec.with_tenant_config(config)
     result = run_parallel_replay(
-        trace, spec, shards=args.shards, workers=args.workers, policy=policy
+        trace, spec, shards=args.shards, workers=args.workers, policy=policy,
+        stream=args.stream,
     )
 
     payload = result.to_dict()
     payload["trace"] = args.trace
     # Scheduling facts live outside the deterministic report body: the
-    # merged results above are identical at any --shards/--workers.
+    # merged results above are identical at any --shards/--workers and
+    # with or without --stream.
     payload["parallel"] = {
         "policy": result.policy_name,
         "cells": result.cell_count,
         "shards": result.shards,
         "workers": result.workers,
+        "stream": result.streamed,
         "wall_s": result.wall_s,
         "events_per_s": result.events_per_s(),
+        "max_rss_mb": result.rss_mb,
     }
     if args.format == "json":
         text = render_json(payload)
@@ -412,8 +420,10 @@ def _replay_report_table(report: dict) -> str:
             ["cells", parallel["cells"]],
             ["shards", parallel["shards"]],
             ["workers", parallel["workers"]],
+            ["stream", parallel["stream"]],
             ["wall_s", parallel["wall_s"]],
             ["events_per_s", parallel["events_per_s"]],
+            ["max_rss_mb", parallel["max_rss_mb"]],
         ],
         report,
     )
@@ -593,9 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "per-tenant system/placement/limit overrides "
                         "(JSON or YAML-lite, see docs/tenancy.md)")
     replay.add_argument("--shards", type=int, default=1,
-                        help="cell batches to replay (default: 1, serial)")
+                        help="cell batches for --no-stream; also the "
+                        "--workers default (default: 1, serial)")
     replay.add_argument("--workers", type=int, default=None,
                         help="worker processes (default: min(shards, cores))")
+    replay.add_argument("--stream", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="cell-granular work-stealing scheduler with "
+                        "online merge (default); --no-stream uses the "
+                        "static hash-batched engine")
     replay.add_argument("--policy", default="tenant",
                         help="cell partition policy: tenant | "
                         "timeslice[:<seconds>] (default: tenant)")

@@ -70,6 +70,10 @@ class Flow:
     ) -> None:
         self.fabric = fabric
         self.env = fabric.env
+        #: Creation order within the fabric — the deterministic identity
+        #: rebalancing sorts by (set iteration order is address-dependent
+        #: and must never reach the event queue).
+        self.index = fabric.flow_count
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.links = links
@@ -189,7 +193,12 @@ class NetworkFabric:
         self._rebalance(affected)
 
     def _rebalance(self, flows: Set[Flow]) -> None:
-        for flow in flows:
+        # Sorted by creation index: the iteration order schedules the
+        # flows' completion timers, and the event queue breaks same-time
+        # ties by insertion order — iterating the raw set would leak
+        # object addresses (which vary run to run within a process) into
+        # simulated results.
+        for flow in sorted(flows, key=lambda f: f.index):
             if not flow._active:
                 continue
             self._settle(flow)

@@ -73,18 +73,27 @@ class RunResult:
         """
         from ..metrics.report import summary_to_dict
 
+        # One pass over the records: the completed/failed splits below
+        # feed four separate report fields (replays carry millions of
+        # records, so the property-per-field scans add up).
+        completed = failed = 0
+        for record in self.records:
+            if record.completed:
+                completed += 1
+            elif record.failed:
+                failed += 1
         payload: dict = {
             "system": self.system_name,
             "workflow": self.workflow,
             "duration_s": self.duration_s,
             "offered": self.offered,
-            "completed": len(self.completed),
-            "failed": len(self.failed),
-            "failure_rate": self.failure_rate,
-            "throughput_rpm": self.throughput_rpm(),
-            "latency": (
-                summary_to_dict(self.latency()) if self.completed else None
+            "completed": completed,
+            "failed": failed,
+            "failure_rate": failed / len(self.records) if self.records else 0.0,
+            "throughput_rpm": (
+                completed / self.duration_s * 60.0 if self.duration_s > 0 else 0.0
             ),
+            "latency": summary_to_dict(self.latency()) if completed else None,
             "usage": None,
         }
         if self.usage is not None:

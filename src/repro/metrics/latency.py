@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from itertools import chain
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .stats import mean, p99, percentile, stddev
+from .stats import mean, percentile_sorted, stddev
 
 
 @dataclass
@@ -77,7 +78,29 @@ class RequestRecord:
         raise KeyError(task_id)
 
 
-@dataclass
+def _merge_sorted(
+    a: Tuple[float, ...], b: Tuple[float, ...]
+) -> Tuple[float, ...]:
+    """Two-way merge of pre-sorted sample arrays — O(n), no re-sort."""
+    out: List[float] = []
+    append = out.append
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x <= y:
+            append(x)
+            i += 1
+        else:
+            append(y)
+            j += 1
+    if i < la:
+        out.extend(a[i:])
+    else:
+        out.extend(b[j:])
+    return tuple(out)
+
+
 class LatencySummary:
     """Aggregate latency statistics over completed requests.
 
@@ -87,36 +110,55 @@ class LatencySummary:
     :meth:`from_latencies` on the concatenated sample sets exactly, so
     sharded runs can combine per-shard summaries without losing the
     percentiles.
+
+    Statistics are **exact but lazy**: a summary built from samples
+    defers its mean/percentile/σ computation until a statistic is first
+    read, and merges only concatenate sample arrays (two-way-merging the
+    pre-sorted arrays in O(n) when both operands already materialized,
+    instead of re-sorting the union per fold).  A replay that folds
+    thousands of per-cell summaries therefore pays one sort at first
+    read, not one per merge — and the materialized values are
+    byte-identical to the eager computation: means and σ sum the samples
+    in their original record order, percentiles interpolate over the
+    same sorted sequence.
+
+    The legacy constructor (explicit ``count``/``mean_s``/... values)
+    still works for hand-built summaries; those carry no samples and
+    cannot merge.
     """
 
-    count: int
-    mean_s: float
-    p50_s: float
-    p99_s: float
-    sigma_s: float
-    max_s: float
-    #: Latencies the summary was computed from, in record order.  Carried
-    #: so summaries merge exactly; excluded from reports (``report=False``
-    #: metadata) and from ``==`` so the JSON schema and comparisons match
-    #: the plain six-field summary.
-    samples: Tuple[float, ...] = field(
-        default=(), repr=False, compare=False, metadata={"report": False}
-    )
+    __slots__ = ("_samples", "_sorted", "_stats")
+
+    #: Report schema, in serialization order (mirrors the former
+    #: dataclass field order so JSON output is unchanged).
+    _STAT_FIELDS = ("count", "mean_s", "p50_s", "p99_s", "sigma_s", "max_s")
+
+    def __init__(
+        self,
+        count: Optional[int] = None,
+        mean_s: Optional[float] = None,
+        p50_s: Optional[float] = None,
+        p99_s: Optional[float] = None,
+        sigma_s: Optional[float] = None,
+        max_s: Optional[float] = None,
+        samples: Tuple[float, ...] = (),
+    ) -> None:
+        self._samples = tuple(samples)
+        self._sorted: Optional[Tuple[float, ...]] = None
+        if count is None:
+            if not self._samples:
+                raise ValueError("no completed requests to summarize")
+            self._stats: Optional[tuple] = None  # lazy: from samples
+        else:
+            self._stats = (count, mean_s, p50_s, p99_s, sigma_s, max_s)
+
+    # -- construction -------------------------------------------------------
 
     @classmethod
     def from_latencies(cls, latencies: Sequence[float]) -> "LatencySummary":
-        latencies = list(latencies)
         if not latencies:
             raise ValueError("no completed requests to summarize")
-        return cls(
-            count=len(latencies),
-            mean_s=mean(latencies),
-            p50_s=percentile(latencies, 50),
-            p99_s=p99(latencies),
-            sigma_s=stddev(latencies),
-            max_s=max(latencies),
-            samples=tuple(latencies),
-        )
+        return cls(samples=tuple(latencies))
 
     @classmethod
     def from_records(cls, records: List[RequestRecord]) -> "LatencySummary":
@@ -124,25 +166,142 @@ class LatencySummary:
             [r.latency for r in records if r.completed]
         )
 
+    @classmethod
+    def fold(cls, summaries: Iterable["LatencySummary"]) -> "LatencySummary":
+        """Merge many summaries in one O(total) concatenation.
+
+        Equivalent to chaining :meth:`merge` left to right (same sample
+        order, same statistics) without the quadratic intermediate
+        tuples; the streaming replay merge folds per-cell summaries in
+        sorted-cell-key order through this.
+        """
+        parts = list(summaries)
+        if not parts:
+            raise ValueError("fold of no summaries")
+        for part in parts:
+            if not isinstance(part, LatencySummary):
+                raise TypeError(
+                    f"cannot merge LatencySummary with {type(part).__name__}"
+                )
+            if not part._samples:
+                raise ValueError(
+                    "merge needs summaries that retain samples (build them "
+                    "via from_records/from_latencies, not the raw "
+                    "constructor)"
+                )
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            samples=tuple(chain.from_iterable(p._samples for p in parts))
+        )
+
+    # -- lazy materialization ------------------------------------------------
+
+    def _ordered(self) -> Tuple[float, ...]:
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._samples))
+        return self._sorted
+
+    def _materialize(self) -> tuple:
+        if self._stats is None:
+            samples = self._samples
+            ordered = self._ordered()
+            self._stats = (
+                len(samples),
+                mean(samples),
+                percentile_sorted(ordered, 50),
+                percentile_sorted(ordered, 99.0),
+                stddev(samples),
+                ordered[-1],
+            )
+        return self._stats
+
+    @property
+    def count(self) -> int:
+        return self._materialize()[0]
+
+    @property
+    def mean_s(self) -> float:
+        return self._materialize()[1]
+
+    @property
+    def p50_s(self) -> float:
+        return self._materialize()[2]
+
+    @property
+    def p99_s(self) -> float:
+        return self._materialize()[3]
+
+    @property
+    def sigma_s(self) -> float:
+        return self._materialize()[4]
+
+    @property
+    def max_s(self) -> float:
+        return self._materialize()[5]
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """Latencies the summary was computed from, in record order.
+        Carried so summaries merge exactly; excluded from reports and
+        from ``==`` so the JSON schema and comparisons match the plain
+        six-field summary."""
+        return self._samples
+
+    def report_dict(self) -> dict:
+        """The six-statistic report mapping (samples excluded); the
+        serialization :func:`repro.metrics.report.summary_to_dict`
+        emits."""
+        return dict(zip(self._STAT_FIELDS, self._materialize()))
+
+    # -- merging -------------------------------------------------------------
+
     def merge(self, other: "LatencySummary") -> "LatencySummary":
         """Combine two summaries into the summary of the union.
 
         Exact (not approximated): both operands must retain their samples,
         i.e. have been built via :meth:`from_records`/:meth:`from_latencies`
-        or previous merges.
+        or previous merges.  The merge itself is O(n) concatenation; when
+        both operands already sorted their samples, the union's sorted
+        array comes from a two-way merge instead of a future re-sort.
         """
         if not isinstance(other, LatencySummary):
             raise TypeError(
                 f"cannot merge LatencySummary with {type(other).__name__}"
             )
-        if not self.samples or not other.samples:
+        if not self._samples or not other._samples:
             raise ValueError(
                 "merge needs summaries that retain samples (build them via "
                 "from_records/from_latencies, not the raw constructor)"
             )
-        return type(self).from_latencies(self.samples + other.samples)
+        merged = type(self)(samples=self._samples + other._samples)
+        if self._sorted is not None and other._sorted is not None:
+            merged._sorted = _merge_sorted(self._sorted, other._sorted)
+        return merged
 
     def __add__(self, other: "LatencySummary") -> "LatencySummary":
         if not isinstance(other, LatencySummary):
             return NotImplemented
         return self.merge(other)
+
+    # -- comparison / presentation -------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencySummary):
+            return NotImplemented
+        return self._materialize() == other._materialize()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable cache, like eq dataclass
+
+    def __repr__(self) -> str:
+        stats = self.report_dict()
+        body = ", ".join(f"{k}={v!r}" for k, v in stats.items())
+        return f"LatencySummary({body})"
+
+    # -- pickling (slots) ----------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        return (self._samples, self._sorted, self._stats)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._samples, self._sorted, self._stats = state

@@ -59,26 +59,34 @@ def render_table(
 
 
 def summary_to_dict(summary: Any) -> dict:
-    """A metrics dataclass (LatencySummary, UsageSummary, ...) as a dict.
+    """A metrics summary (LatencySummary, UsageSummary, ...) as a dict.
 
-    Non-finite values (e.g. per-request usage with zero completions)
-    become ``None`` so the result is strict-JSON serializable.  Fields
-    whose metadata carries ``report=False`` (internal state such as
-    :class:`~repro.metrics.latency.LatencySummary`'s retained samples)
-    are left out of the dict.
+    Summaries are either dataclasses (fields whose metadata carries
+    ``report=False`` are left out) or expose a ``report_dict()`` method
+    naming their reportable statistics (e.g. the lazily materialized
+    :class:`~repro.metrics.latency.LatencySummary`, whose retained
+    samples stay out of reports).  Non-finite values (e.g. per-request
+    usage with zero completions) become ``None`` so the result is
+    strict-JSON serializable.
     """
-    if not dataclasses.is_dataclass(summary):
-        raise TypeError(f"expected a dataclass, got {type(summary).__name__}")
-    out = {}
-    for spec in dataclasses.fields(summary):
-        if not spec.metadata.get("report", True):
-            continue
-        value = getattr(summary, spec.name)
+    if hasattr(summary, "report_dict"):
+        out = summary.report_dict()
+    elif dataclasses.is_dataclass(summary) and not isinstance(summary, type):
+        out = {}
+        for spec in dataclasses.fields(summary):
+            if not spec.metadata.get("report", True):
+                continue
+            out[spec.name] = getattr(summary, spec.name)
+    else:
+        raise TypeError(
+            f"expected a dataclass or report_dict() summary, got "
+            f"{type(summary).__name__}"
+        )
+    for key, value in out.items():
         if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            value = summary_to_dict(value)
+            out[key] = summary_to_dict(value)
         elif isinstance(value, float) and not math.isfinite(value):
-            value = None
-        out[spec.name] = value
+            out[key] = None
     return out
 
 
@@ -102,7 +110,9 @@ def render_json(payload: Any, indent: int = 2) -> str:
     """Serialize a report payload as strict JSON (NaN/inf become null)."""
 
     def default(value: Any) -> Any:
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if hasattr(value, "report_dict") or (
+            dataclasses.is_dataclass(value) and not isinstance(value, type)
+        ):
             return summary_to_dict(value)
         raise TypeError(
             f"{type(value).__name__} is not JSON serializable"

@@ -25,13 +25,18 @@ def stddev(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """q-th percentile (0..100) with linear interpolation."""
-    if not values:
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100) of *already-sorted* values.
+
+    The one copy of the interpolation arithmetic: :func:`percentile`
+    sorts and delegates here, and lazily materialized summaries (which
+    keep their samples pre-sorted across merges) call it directly — so
+    eager and lazy percentiles are byte-identical by construction.
+    """
+    if not ordered:
         raise ValueError("percentile of empty sequence")
     if not 0 <= q <= 100:
         raise ValueError(f"q must lie in [0, 100], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -43,6 +48,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     value = ordered[lower] * (1 - weight) + ordered[upper] * weight
     # Clamp float-rounding residue back inside the bracketing samples.
     return min(max(value, ordered[lower]), ordered[upper])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100) with linear interpolation."""
+    return percentile_sorted(sorted(values), q)
 
 
 def p99(values: Sequence[float]) -> float:

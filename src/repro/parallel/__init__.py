@@ -1,11 +1,12 @@
-"""Sharded parallel trace replay: scale replay across CPU cores.
+"""Streaming parallel trace replay: scale replay across CPU cores.
 
 The layer between the load generator and the simulator: it partitions an
 :class:`~repro.loadgen.trace.InvocationTrace` into independent cells
 (:mod:`~repro.parallel.policy`), replays each in its own fresh simulated
-world — in worker processes when ``workers > 1`` — from a picklable
-:class:`~repro.parallel.spec.ReplaySpec`, and merges the per-shard
-metrics into one deterministic report
+world — in worker processes when ``workers > 1``, scheduled by a
+cell-granular work-stealing queue — from a picklable
+:class:`~repro.parallel.spec.ReplaySpec`, and streams the per-cell
+metrics into one online, deterministic merge
 (:mod:`~repro.parallel.engine`).  ``repro replay`` is the CLI front-end;
 ``docs/scaling.md`` covers the architecture and policy trade-offs.
 """
@@ -14,6 +15,8 @@ from .engine import (
     CellResult,
     ParallelReplayResult,
     ShardResult,
+    StreamingMerge,
+    max_rss_mb,
     merge_shard_results,
     partition_trace,
     replay_cell,
@@ -36,12 +39,14 @@ __all__ = [
     "ResolvedProfile",
     "ShardPolicy",
     "ShardResult",
+    "StreamingMerge",
     "TenantConfig",
     "TenantProfile",
     "TenantProfileError",
     "TenantShardPolicy",
     "TimeSliceShardPolicy",
     "get_shard_policy",
+    "max_rss_mb",
     "merge_shard_results",
     "partition_trace",
     "replay_cell",

@@ -1,36 +1,53 @@
-"""Sharded trace replay: cells → shards → worker processes → one report.
+"""Streaming work-stealing trace replay: cells → workers → one report.
 
 The pipeline:
 
 1. A :class:`~repro.parallel.policy.ShardPolicy` splits the trace into
    *cells* — independent sub-traces that never interact (per tenant by
    default).  The cell partition depends only on trace + policy.
-2. :func:`partition_trace` packs cells into ``shards`` batches by a
-   stable hash of the cell key.
-3. Each shard replays in a worker process (``ProcessPoolExecutor``) — or
-   inline when ``workers == 1`` / ``shards == 1``, the serial fallback.
-   A worker rebuilds a fresh simulated world per cell from the picklable
-   :class:`~repro.parallel.spec.ReplaySpec` — under the cell tenant's
-   resolved :class:`~repro.parallel.profiles.TenantProfile`, so tenants
-   may replay on different systems, placements, and clusters — with a
-   seed derived from (root seed, cell key, resolved profile), then runs
-   the ordinary :func:`~repro.loadgen.trace.run_trace` on the cell's
-   events.
-4. :func:`merge_shard_results` folds every cell's records, usage
-   integrals, and tenant map into one :class:`ParallelReplayResult` in
-   sorted-cell-key order.
+2. The **streaming engine** (default) submits cells individually to a
+   ``ProcessPoolExecutor`` via ``submit()``, costliest cell first,
+   through a sliding window of ``2 * workers`` outstanding tasks, and
+   consumes :class:`CellResult`\\ s as they complete.  Workers pull the
+   next cell the moment they finish one — fast workers steal the
+   remaining queue instead of idling behind a skewed tenant, so the
+   makespan approaches LPT-optimal regardless of how skewed the cells
+   are.  Each result folds into an online :class:`StreamingMerge` as it
+   arrives and is then dropped, so peak memory is bounded by the final
+   merged report plus the window's worth of in-flight cells — never by
+   whole-shard pickles.
+3. The **batched engine** (``stream=False``, the pre-streaming
+   behavior) packs cells into ``shards`` batches by a stable hash of
+   the cell key (:func:`partition_trace`) and replays each batch back
+   to back in one worker task.  It survives as the measured baseline
+   work-stealing is benchmarked against.
+4. Both paths fold through the same :class:`StreamingMerge`, which
+   accepts cells in *any* arrival order and canonicalizes at
+   :meth:`~StreamingMerge.finalize`: per-cell summaries fold in
+   sorted-cell-key order (so even float-summation order is
+   deterministic) and records sort by ``(submit_time, request_id)``.
 
-Because cells, seeds, and the merge order are all independent of the
-shard count and worker count, the merged report is bit-identical across
-``--shards``/``--workers`` settings — parallelism never changes results,
-only wall-clock time.
+A worker rebuilds a fresh simulated world per cell from the picklable
+:class:`~repro.parallel.spec.ReplaySpec` — under the cell tenant's
+resolved :class:`~repro.parallel.profiles.TenantProfile`, so tenants
+may replay on different systems, placements, and clusters — with a
+seed derived from (root seed, cell key, resolved profile), then runs
+the ordinary :func:`~repro.loadgen.trace.run_trace` on the cell's
+events.
+
+Because cells, seeds, and the canonical merge order are all independent
+of shard count, worker count, and completion order, the merged report
+is bit-identical across ``--shards``/``--workers``/``--stream``
+settings — parallelism and scheduling never change results, only
+wall-clock time and memory.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from itertools import islice
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -44,6 +61,8 @@ __all__ = [
     "CellResult",
     "ParallelReplayResult",
     "ShardResult",
+    "StreamingMerge",
+    "max_rss_mb",
     "merge_shard_results",
     "partition_trace",
     "replay_cell",
@@ -73,7 +92,7 @@ class CellResult:
 
 @dataclass
 class ShardResult:
-    """Everything one shard (= one worker task) produced."""
+    """Everything one shard (= one batched worker task) produced."""
 
     index: int
     cells: List[CellResult]
@@ -86,20 +105,28 @@ class ParallelReplayResult(TraceRunResult):
 
     ``to_dict`` stays deterministic — it reports the policy and cell
     count (functions of trace + policy alone) but *not* shard/worker
-    counts or wall-clock times, so two runs of the same trace at
-    different parallelism produce byte-identical reports.  The
-    scheduling facts live on the object (:attr:`shards`,
-    :attr:`workers`, :attr:`wall_s`, per-cell :attr:`cell_wall_s`) for
-    benchmarks and the CLI to surface separately.
+    counts, scheduling mode, or wall-clock times, so two runs of the
+    same trace at different parallelism produce byte-identical reports.
+    The scheduling facts live on the object (:attr:`shards`,
+    :attr:`workers`, :attr:`streamed`, :attr:`wall_s`, :attr:`rss_mb`,
+    per-cell :attr:`cell_wall_s`) for benchmarks and the CLI to surface
+    separately.
     """
 
     policy_name: str = "tenant"
     cell_count: int = 0
     shards: int = 1
     workers: int = 1
+    #: Whether the streaming work-stealing scheduler ran (vs the static
+    #: hash-batched baseline).  Scheduling detail only — never reported.
+    streamed: bool = True
     wall_s: float = 0.0
+    #: Parent-process peak RSS after the run, MB — where merge/pickle
+    #: memory lives (a high-water mark including everything the host
+    #: process did before the replay; 0.0 when unmeasurable).
+    rss_mb: float = 0.0
     cell_wall_s: Dict[str, float] = field(default_factory=dict)
-    #: Per-cell latency summaries folded via :meth:`LatencySummary.merge`
+    #: Per-cell latency summaries folded via :meth:`LatencySummary.fold`
     #: in sorted-cell-key order (``None`` when nothing completed).
     merged_latency: Optional[LatencySummary] = None
     #: tenant -> resolved-profile tag, populated only when the spec
@@ -135,6 +162,28 @@ class ParallelReplayResult(TraceRunResult):
         return payload
 
 
+def max_rss_mb() -> float:
+    """Peak RSS high-water mark of *this* process, in MB.
+
+    Parent-side only, deliberately: the merge memory — whole-shard
+    pickle buffers versus streamed per-cell results — lives in the
+    parent, while each worker holds one cell world under either engine.
+    (``RUSAGE_CHILDREN``'s ``ru_maxrss`` is the max over any single
+    reaped child, not a sum, so folding it in would only blur the
+    signal.)  ``getrusage`` reports kilobytes on Linux and bytes on
+    macOS; 0.0 on platforms without the ``resource`` module (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return peak / scale
+
+
 def partition_trace(
     trace: InvocationTrace,
     shards: int,
@@ -144,7 +193,10 @@ def partition_trace(
 
     Cells assign to shards by a stable hash of their key, so the same
     trace + policy + shard count always yields the same batches; some
-    batches may be empty when cells are fewer than shards.
+    batches may be empty when cells are fewer than shards.  This static
+    assignment is the batched (``stream=False``) engine's unit of work
+    distribution — the streaming engine schedules cells individually
+    instead.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -191,13 +243,116 @@ def replay_cell(spec: ReplaySpec, key: str, cell_trace: InvocationTrace) -> Cell
 
 
 def _replay_shard(payload: Tuple[ReplaySpec, int, List[Cell]]) -> ShardResult:
-    """Worker entry point: replay one shard's cells back to back."""
+    """Batched worker entry point: replay one shard's cells back to back."""
     spec, index, cells = payload
     start = time.perf_counter()
     results = [replay_cell(spec, key, cell_trace) for key, cell_trace in cells]
     return ShardResult(
         index=index, cells=results, wall_s=time.perf_counter() - start
     )
+
+
+@dataclass
+class _CellFold:
+    """The bounded-size residue one folded cell leaves behind: every
+    per-cell quantity whose canonical merge order matters, minus the
+    records (which stream straight into the shared list)."""
+
+    offered: int
+    duration_s: float
+    wall_s: float
+    tenant_of: Dict[str, str]
+    usage: Optional[UsageSummary]
+    latency: Optional[LatencySummary]
+    profile: Dict[str, object]
+
+
+class StreamingMerge:
+    """Online, order-insensitive fold of :class:`CellResult`\\ s.
+
+    ``add`` accepts cells in *any* arrival order (work stealing
+    completes them unpredictably) and keeps only two things: one shared
+    record list (appended in arrival order) and a small per-cell residue
+    (counters, usage integrals, the latency sample chunk, the tenant
+    map).  ``finalize`` canonicalizes: residues fold in sorted-cell-key
+    order — so float summation order, profile tags, and tenant maps are
+    independent of scheduling — and records sort by the globally unique
+    ``(submit_time, request_id)`` key.  The result is byte-identical to
+    the legacy whole-batch merge at every shard/worker/steal order.
+
+    Memory stays bounded by the final merged report: nothing is ever
+    held per shard, and a folded :class:`CellResult` is dropped as soon
+    as ``add`` returns.
+    """
+
+    def __init__(self, trace: InvocationTrace, spec: ReplaySpec) -> None:
+        self._trace = trace
+        self._spec = spec
+        self._records: List[RequestRecord] = []
+        self._cells: Dict[str, _CellFold] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def add(self, cell: CellResult) -> None:
+        """Fold one cell's result; the cell may be garbage-collected
+        afterwards (its record list is absorbed, not referenced)."""
+        if cell.key in self._cells:
+            raise ValueError(f"cell {cell.key!r} already merged")
+        self._records.extend(cell.records)
+        self._cells[cell.key] = _CellFold(
+            offered=cell.offered,
+            duration_s=cell.duration_s,
+            wall_s=cell.wall_s,
+            tenant_of=cell.tenant_of,
+            usage=cell.usage,
+            latency=cell.latency,
+            profile=cell.profile,
+        )
+
+    def finalize(self) -> ParallelReplayResult:
+        """Canonicalize the fold into the deterministic merged report."""
+        spec = self._spec
+        keys = sorted(self._cells)
+        cells = [self._cells[key] for key in keys]
+        records = self._records
+        records.sort(key=lambda record: (record.submit_time, record.request_id))
+        usage: Optional[UsageSummary] = None
+        tenant_of: Dict[str, str] = {}
+        for cell in cells:
+            tenant_of.update(cell.tenant_of)
+            if cell.usage is not None:
+                usage = cell.usage if usage is None else usage.merge(cell.usage)
+        latencies = [c.latency for c in cells if c.latency is not None]
+        latency = LatencySummary.fold(latencies) if latencies else None
+        workflows = sorted({record.workflow for record in records})
+        profile_tags: Dict[str, dict] = {}
+        system_name = spec.system_name
+        if spec.has_profiles:
+            for cell in cells:
+                for tenant in sorted(set(cell.tenant_of.values())):
+                    profile_tags[tenant] = cell.profile
+            # The headline system field must name what actually ran, not
+            # the base spec's default a profile may have overridden
+            # everywhere.
+            systems = sorted(
+                {str(cell.profile["system"]) for cell in cells if cell.profile}
+            )
+            if systems:
+                system_name = "+".join(systems)
+        return ParallelReplayResult(
+            system_name=system_name,
+            workflow="+".join(workflows) if workflows else self._trace.name,
+            duration_s=max((cell.duration_s for cell in cells), default=0.0),
+            offered=sum(cell.offered for cell in cells),
+            records=records,
+            usage=usage,
+            tenant_of=tenant_of,
+            cell_count=len(cells),
+            cell_wall_s={key: self._cells[key].wall_s for key in keys},
+            merged_latency=latency,
+            tenant_profile_tags=profile_tags,
+        )
 
 
 def merge_shard_results(
@@ -207,75 +362,18 @@ def merge_shard_results(
 ) -> ParallelReplayResult:
     """Fold per-shard cell results into one deterministic merged report.
 
-    Cells merge in sorted-key order — latency summaries fold through
-    :meth:`LatencySummary.merge`, usage integrals through
-    :meth:`UsageSummary.merge` — and records sort by
-    ``(submit_time, request_id)``, so the result — including
-    float-summation order inside the merged summaries — is independent
-    of how cells were batched into shards or which worker finished
-    first.
+    A thin wrapper over :class:`StreamingMerge` — the batched and
+    streaming engines share one canonical merge, which is what makes
+    their reports byte-identical by construction.
     """
-    cells = sorted(
-        (cell for shard in shard_results for cell in shard.cells),
-        key=lambda cell: cell.key,
-    )
-    records = [record for cell in cells for record in cell.records]
-    records.sort(key=lambda record: (record.submit_time, record.request_id))
-    usage: Optional[UsageSummary] = None
-    latency: Optional[LatencySummary] = None
-    tenant_of: Dict[str, str] = {}
-    for cell in cells:
-        tenant_of.update(cell.tenant_of)
-        if cell.usage is not None:
-            usage = cell.usage if usage is None else usage.merge(cell.usage)
-        if cell.latency is not None:
-            latency = (
-                cell.latency if latency is None else latency.merge(cell.latency)
-            )
-    workflows = sorted({record.workflow for record in records})
-    profile_tags: Dict[str, dict] = {}
-    system_name = spec.system_name
-    if spec.has_profiles:
-        for cell in cells:
-            for tenant in sorted(set(cell.tenant_of.values())):
-                profile_tags[tenant] = cell.profile
-        # The headline system field must name what actually ran, not the
-        # base spec's default a profile may have overridden everywhere.
-        systems = sorted(
-            {str(cell.profile["system"]) for cell in cells if cell.profile}
-        )
-        if systems:
-            system_name = "+".join(systems)
-    return ParallelReplayResult(
-        system_name=system_name,
-        workflow="+".join(workflows) if workflows else trace.name,
-        duration_s=max((cell.duration_s for cell in cells), default=0.0),
-        offered=sum(cell.offered for cell in cells),
-        records=records,
-        usage=usage,
-        tenant_of=tenant_of,
-        cell_count=len(cells),
-        cell_wall_s={cell.key: cell.wall_s for cell in cells},
-        merged_latency=latency,
-        tenant_profile_tags=profile_tags,
-    )
+    merge = StreamingMerge(trace, spec)
+    for shard in shard_results:
+        for cell in shard.cells:
+            merge.add(cell)
+    return merge.finalize()
 
 
-def run_parallel_replay(
-    trace: InvocationTrace,
-    spec: ReplaySpec,
-    shards: int = 1,
-    workers: Optional[int] = None,
-    policy: Union[str, ShardPolicy] = "tenant",
-) -> ParallelReplayResult:
-    """Replay a trace sharded across worker processes and merge results.
-
-    ``workers`` defaults to ``min(shards, cpu_count)``; the run falls
-    back to the in-process serial path at one shard or one worker.  The
-    merged report depends only on ``(trace, spec, policy)``.
-    """
-    if isinstance(policy, str):
-        policy = get_shard_policy(policy)
+def _validate(trace: InvocationTrace, spec: ReplaySpec, policy: ShardPolicy) -> None:
     if spec.has_profiles and policy.name != "tenant":
         # Profiles key on tenant cells.  Under other partitions the same
         # tenant's events could run under different profiles depending on
@@ -290,26 +388,109 @@ def run_parallel_replay(
             f"trace {trace.name!r} has events naming no app and the replay "
             f"spec has no default_app (--app on the CLI)"
         )
+
+
+def _stream_cells(
+    cells: List[Cell],
+    spec: ReplaySpec,
+    workers: int,
+    merge: StreamingMerge,
+    policy: ShardPolicy,
+) -> None:
+    """Work-stealing fan-out: one task per cell, folded as completed.
+
+    Cells submit costliest-first (:meth:`ShardPolicy.cell_cost`, key as
+    tie-break) — the LPT heuristic — so a skewed tenant starts
+    immediately while the small cells pack around it.  Submission runs
+    through a sliding window of ``2 * workers`` outstanding tasks: a
+    replacement cell is submitted as each result is consumed, so
+    workers never starve while the main thread folds, and — unlike
+    submitting everything up front, where every completed-but-unfolded
+    future would hold its unpickled records — no more than the window's
+    worth of cell results ever exists outside the merge.
+    """
+    ordered = sorted(
+        cells, key=lambda cell: (-policy.cell_cost(cell[1]), cell[0])
+    )
+    queue = iter(ordered)
+    window = 2 * workers
+    with ProcessPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+        pending = {
+            pool.submit(replay_cell, spec, key, cell_trace)
+            for key, cell_trace in islice(queue, window)
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                # Refill the window before folding so the pool stays fed.
+                for key, cell_trace in islice(queue, 1):
+                    pending.add(pool.submit(replay_cell, spec, key, cell_trace))
+                merge.add(future.result())
+
+
+def run_parallel_replay(
+    trace: InvocationTrace,
+    spec: ReplaySpec,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    policy: Union[str, ShardPolicy] = "tenant",
+    stream: bool = True,
+) -> ParallelReplayResult:
+    """Replay a trace across worker processes and merge the results.
+
+    ``stream=True`` (the default) runs the cell-granular work-stealing
+    scheduler: ``workers`` processes (default ``min(shards,
+    cpu_count)``) pull cells from a longest-first queue and results fold
+    into the merge as they complete, in whatever order they finish.
+    ``stream=False`` runs the legacy static engine: cells pack into
+    ``shards`` hash-assigned batches, each replayed whole by one worker
+    task.  The merged report depends only on ``(trace, spec, policy)``
+    — never on ``shards``, ``workers``, ``stream``, or completion
+    order.  At one worker (or one cell) both modes degrade to the same
+    in-process serial fold.
+    """
+    if isinstance(policy, str):
+        policy = get_shard_policy(policy)
+    _validate(trace, spec, policy)
     if workers is None:
         workers = min(shards, os.cpu_count() or 1)
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    batches = partition_trace(trace, shards, policy)
-    payloads = [
-        (spec, index, cells)
-        for index, cells in enumerate(batches)
-        if cells
-    ]
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    merge = StreamingMerge(trace, spec)
     start = time.perf_counter()
-    if workers == 1 or len(payloads) <= 1:
-        shard_results = [_replay_shard(payload) for payload in payloads]
+    if stream:
+        cells = policy.split(trace)
+        if workers == 1 or len(cells) <= 1:
+            for key, cell_trace in cells:
+                merge.add(replay_cell(spec, key, cell_trace))
+        else:
+            _stream_cells(cells, spec, workers, merge, policy)
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-            shard_results = list(pool.map(_replay_shard, payloads))
+        batches = partition_trace(trace, shards, policy)
+        payloads = [
+            (spec, index, cells)
+            for index, cells in enumerate(batches)
+            if cells
+        ]
+        if workers == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                for cell in _replay_shard(payload).cells:
+                    merge.add(cell)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(payloads))
+            ) as pool:
+                for shard in pool.map(_replay_shard, payloads):
+                    for cell in shard.cells:
+                        merge.add(cell)
     wall_s = time.perf_counter() - start
-    merged = merge_shard_results(shard_results, trace, spec)
+    merged = merge.finalize()
     merged.policy_name = policy.name
     merged.shards = shards
     merged.workers = workers
+    merged.streamed = stream
     merged.wall_s = wall_s
+    merged.rss_mb = max_rss_mb()
     return merged

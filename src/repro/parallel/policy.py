@@ -56,6 +56,17 @@ class ShardPolicy:
     def cell_key(self, event: TraceEvent) -> str:
         raise NotImplementedError
 
+    def cell_cost(self, cell_trace: InvocationTrace) -> float:
+        """Estimated replay cost of one cell, for scheduling only.
+
+        The streaming engine submits cells costliest-first (the LPT
+        heuristic), so a policy that knows some events are heavier than
+        others can override this to improve the makespan.  Scheduling
+        order never affects results — only wall-clock time — so the
+        estimate is free to be wrong.
+        """
+        return float(len(cell_trace.events))
+
     def split(self, trace: InvocationTrace) -> List[Tuple[str, InvocationTrace]]:
         """The trace partitioned into ``(cell_key, sub-trace)`` pairs.
 

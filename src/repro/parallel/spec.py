@@ -35,7 +35,7 @@ from .profiles import TenantConfig, TenantProfile
 __all__ = ["ReplaySpec", "ResolvedProfile"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolvedProfile:
     """The concrete configuration one cell replays under."""
 
@@ -65,9 +65,14 @@ class ResolvedProfile:
         return tag
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplaySpec:
-    """Everything needed to replay one trace cell in a fresh world."""
+    """Everything needed to replay one trace cell in a fresh world.
+
+    Slotted: the streaming engine pickles one spec per *cell* task (not
+    per shard), so the spec stays as small and cheap to serialize as a
+    plain tuple of its fields.
+    """
 
     #: Execution system registry name (``repro systems``).
     system_name: str = "dataflower"

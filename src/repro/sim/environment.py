@@ -1,11 +1,29 @@
-"""The simulation environment: clock, scheduler, and run loop."""
+"""The simulation environment: clock, scheduler, and run loop.
+
+This is the simulator's innermost loop: a replay pops millions of events
+through :meth:`Environment.run`, so the loop body is written flat — the
+heap, clock, and callback dispatch are manipulated through local
+bindings rather than per-event method calls.  :meth:`Environment.step`
+remains the single-event API (tests and tools drive it directly); the
+run loop inlines the identical logic.  Scheduling semantics — (time,
+priority, insertion-order) order — are untouched.
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, NORMAL_PRIORITY, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL_PRIORITY,
+    PENDING,
+    PROCESSED,
+    Timeout,
+    URGENT_PRIORITY,
+)
 from .process import Process, ProcessGenerator
 
 
@@ -19,6 +37,8 @@ class Environment:
     Time is a float in *seconds*.  Events are processed in (time, priority,
     insertion-order) order, which makes runs fully deterministic.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_stack")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -60,7 +80,16 @@ class Environment:
     ) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_urgent(self, event: Event) -> None:
+        """The urgent path: queue ``event`` *now*, ahead of normal events.
+
+        Equivalent to ``schedule(event, 0.0, URGENT_PRIORITY)`` minus the
+        delay arithmetic — the process kick-off/interrupt hot path.
+        """
+        self._eid += 1
+        heappush(self._queue, (self._now, URGENT_PRIORITY, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -69,7 +98,7 @@ class Environment:
     def step(self) -> None:
         """Process exactly one event."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
@@ -77,7 +106,7 @@ class Environment:
         event.callbacks = None
         for callback in callbacks:  # type: ignore[union-attr]
             callback(event)
-        event._mark_processed()
+        event._state = PROCESSED
         if event._exception is not None and not event.defused:
             raise event._exception
 
@@ -101,11 +130,15 @@ class Environment:
                     f"until={stop_time} lies in the past (now={self._now})"
                 )
 
+        # The hot loop: identical semantics to `while True: step()` with
+        # the stop checks, but with the heap and clock handled through
+        # locals instead of method/property calls per event.
+        queue = self._queue
         while True:
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event._state == PROCESSED:
                 return stop_event.value
-            if not self._queue:
-                if stop_event is not None and not stop_event.triggered:
+            if not queue:
+                if stop_event is not None and stop_event._state == PENDING:
                     raise RuntimeError(
                         "run(until=event) exhausted the schedule before the "
                         "event fired"
@@ -113,10 +146,19 @@ class Environment:
                 if stop_time is not None:
                     self._now = stop_time
                 return None
-            if stop_time is not None and self.peek() > stop_time:
+            if stop_time is not None and queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _priority, _eid, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:  # type: ignore[union-attr]
+                callback(event)
+            event._state = PROCESSED
+            exception = event._exception
+            if exception is not None and not event.defused:
+                raise exception
 
     # -- active-process bookkeeping (used by Process.interrupt) ---------------
 

@@ -11,6 +11,11 @@ are resumed when those events fire.  Events move through three states:
     environment's queue waiting to be processed.
 ``PROCESSED``
     The environment has run all callbacks; waiting processes have resumed.
+
+Hot-path note: millions of events exist per replay, so every class here
+declares ``__slots__`` (smaller objects, faster attribute access) and
+internal state checks read ``_state`` directly instead of going through
+the public properties.  The observable semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ class Event:
     Python exceptions.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_state", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -48,6 +55,23 @@ class Event:
         #: Set when a failure has been handled (e.g. by a condition event);
         #: unhandled failures crash the simulation run to avoid silent loss.
         self.defused = False
+
+    @classmethod
+    def _new_triggered(cls, env: "Environment", callback) -> "Event":
+        """Kernel-internal fast path: a pre-triggered event with one
+        callback, ready to schedule.  Initializes exactly the fields
+        ``__init__`` sets (keep the two in sync) minus a dispatch —
+        process kick-off creates one of these per process, which is the
+        hottest allocation site in a replay.
+        """
+        event = cls.__new__(cls)
+        event.env = env
+        event.callbacks = [callback]
+        event._value = None
+        event._exception = None
+        event._state = TRIGGERED
+        event.defused = False
+        return event
 
     # -- state inspection ---------------------------------------------------
 
@@ -79,7 +103,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = value
         self._state = TRIGGERED
@@ -88,7 +112,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -105,11 +129,6 @@ class Event:
         else:
             self.succeed(event._value)
 
-    # -- internal -----------------------------------------------------------
-
-    def _mark_processed(self) -> None:
-        self._state = PROCESSED
-
     # -- composition --------------------------------------------------------
 
     def __or__(self, other: "Event") -> "AnyOf":
@@ -124,6 +143,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -145,6 +166,8 @@ class ConditionEvent(Event):
     with the child's exception and the child is marked *defused*.
     """
 
+    __slots__ = ("events", "_matched")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
@@ -163,7 +186,7 @@ class ConditionEvent(Event):
                 event.callbacks.append(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             if event._exception is not None and not event.defused:
                 event.defused = True
             return
@@ -185,6 +208,8 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Fires when every child event has fired; value maps events to values."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._matched) == len(self.events)
 
@@ -194,6 +219,8 @@ class AllOf(ConditionEvent):
 
 class AnyOf(ConditionEvent):
     """Fires when the first child event fires; value maps fired events."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._matched) >= 1

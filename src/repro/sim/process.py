@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from .events import Event, URGENT_PRIORITY
+from .events import Event, PENDING, TRIGGERED
 
 if TYPE_CHECKING:  # pragma: no cover
     from .environment import Environment
@@ -28,19 +28,17 @@ class Process(Event):
     for each other simply by yielding the process object.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = None
         # Kick the generator off via an immediately-processed urgent event.
-        init = Event(env)
-        init.callbacks.append(self._resume)
-        init._value = None
-        init._state = "triggered"
-        env.schedule(init, priority=URGENT_PRIORITY)
-        self._target = init
+        init = Event._new_triggered(env, self._advance)
+        env.schedule_urgent(init)
+        self._target: Optional[Event] = init
 
     @property
     def is_alive(self) -> bool:
@@ -59,47 +57,46 @@ class Process(Event):
         waiting on an event detaches it from that event (the event may still
         fire for other waiters).
         """
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError("cannot interrupt a terminated process")
         if self is self.env.active_process:
             raise RuntimeError("a process cannot interrupt itself")
         interrupt_event = Event(self.env)
         interrupt_event._exception = Interrupt(cause)
-        interrupt_event._state = "triggered"
+        interrupt_event._state = TRIGGERED
         interrupt_event.defused = True
         interrupt_event.callbacks.append(self._resume_interrupt)
-        self.env.schedule(interrupt_event, priority=URGENT_PRIORITY)
+        self.env.schedule_urgent(interrupt_event)
 
     # -- internal -----------------------------------------------------------
 
     def _detach_from_target(self) -> None:
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._advance)
             except ValueError:
                 pass
 
     def _resume_interrupt(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return  # finished before the interrupt was delivered
         self._detach_from_target()
-        self._advance(event)
-
-    def _resume(self, event: Event) -> None:
         self._advance(event)
 
     def _advance(self, event: Event) -> None:
         """Send/throw ``event``'s outcome into the generator and re-arm."""
         env = self.env
-        env._push_active(self)
+        generator = self._generator
+        stack = env._active_stack
+        stack.append(self)
         try:
             while True:
                 try:
                     if event._exception is not None:
                         event.defused = True
-                        next_event = self._generator.throw(event._exception)
+                        next_event = generator.throw(event._exception)
                     else:
-                        next_event = self._generator.send(event._value)
+                        next_event = generator.send(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -125,14 +122,15 @@ class Process(Event):
                     return
 
                 self._target = next_event
-                if next_event.processed:
-                    # Already done: loop immediately with its outcome.
+                callbacks = next_event.callbacks
+                if callbacks is None:
+                    # Already processed: loop immediately with its outcome.
                     event = next_event
                     continue
-                next_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+                callbacks.append(self._advance)
                 return
         finally:
-            env._pop_active()
+            stack.pop()
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", "process")

@@ -29,6 +29,8 @@ class Request(Event):
     yield req`` always releases.
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -47,6 +49,8 @@ class Request(Event):
 
 class Resource:
     """A resource with integer capacity and FIFO request queue."""
+
+    __slots__ = ("env", "capacity", "users", "queue")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:
@@ -97,6 +101,8 @@ class Resource:
 
 
 class StorePut(Event):
+    __slots__ = ("store", "item")
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.store = store
@@ -111,6 +117,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ("store", "predicate")
+
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]) -> None:
         super().__init__(store.env)
         self.store = store
@@ -134,6 +142,8 @@ class Store:
     ``get(predicate)`` supports filtered retrieval (first matching item),
     which the schedulers use to pick work for a specific function.
     """
+
+    __slots__ = ("env", "capacity", "items", "_putters", "_getters")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -195,12 +205,16 @@ class Store:
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, env: "Environment", amount: float) -> None:
         super().__init__(env)
         self.amount = amount
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, env: "Environment", amount: float) -> None:
         super().__init__(env)
         self.amount = amount
@@ -208,6 +222,8 @@ class ContainerPut(Event):
 
 class LevelContainer:
     """A continuous quantity with blocking get/put (e.g. memory bytes)."""
+
+    __slots__ = ("env", "capacity", "_level", "_getters", "_putters")
 
     def __init__(
         self,

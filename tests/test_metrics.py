@@ -187,6 +187,56 @@ def test_latency_merge_matches_union_property(left, right):
     assert merged == LatencySummary.from_latencies(left + right)
 
 
+def test_lazy_latency_merge_equals_union_from_latencies():
+    """The lazy summary's merge equals from_latencies on the union —
+    the statistics materialize on first read, byte-identical to eager
+    computation, whether or not the operands were already read."""
+    left = [0.5, 3.0, 1.25, 2.0]
+    right = [0.75, 4.5, 1.0]
+    union = LatencySummary.from_latencies(left + right)
+
+    # Never-read operands: merge is pure concatenation, stats deferred.
+    merged = LatencySummary.from_latencies(left).merge(
+        LatencySummary.from_latencies(right)
+    )
+    assert merged.samples == tuple(left + right)
+    assert merged == union
+    assert merged.mean_s == union.mean_s  # bit-identical, not approx
+    assert merged.p99_s == union.p99_s
+    assert merged.sigma_s == union.sigma_s
+
+    # Already-materialized operands: the pre-sorted sample arrays merge
+    # O(n) two-way instead of re-sorting, to the same statistics.
+    a, b = LatencySummary.from_latencies(left), LatencySummary.from_latencies(right)
+    assert a.p50_s and b.p50_s  # force materialization
+    assert a.merge(b) == union
+    assert a.merge(b).p99_s == union.p99_s
+
+
+def test_lazy_latency_fold_equals_chained_merges():
+    chunks = [[1.0, 3.0], [0.5], [2.0, 0.25, 4.0]]
+    summaries = [LatencySummary.from_latencies(c) for c in chunks]
+    folded = LatencySummary.fold(summaries)
+    chained = summaries[0].merge(summaries[1]).merge(summaries[2])
+    assert folded == chained
+    assert folded.samples == chained.samples
+    assert LatencySummary.fold([summaries[0]]) is summaries[0]
+    with pytest.raises(ValueError):
+        LatencySummary.fold([])
+    with pytest.raises(TypeError):
+        LatencySummary.fold([summaries[0], "nope"])
+
+
+def test_lazy_latency_summary_pickles():
+    """CellResults carry summaries across process boundaries."""
+    import pickle
+
+    summary = LatencySummary.from_latencies([2.0, 1.0, 3.0])
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone == summary
+    assert clone.samples == summary.samples
+
+
 def test_latency_samples_stay_out_of_reports():
     from repro.metrics.report import summary_to_dict
 

@@ -5,6 +5,7 @@ import pytest
 from repro.loadgen.trace import InvocationTrace, synthesize_trace
 from repro.parallel import (
     ReplaySpec,
+    StreamingMerge,
     TenantShardPolicy,
     TimeSliceShardPolicy,
     get_shard_policy,
@@ -161,6 +162,55 @@ def test_merge_order_is_shard_invariant(mixed_trace):
     assert [r.request_id for r in one_shard.records] == [
         r.request_id for r in scattered.records
     ]
+
+
+def test_streaming_merge_is_arrival_order_insensitive(mixed_trace):
+    """Work stealing completes cells in any order; the fold canonicalizes."""
+    from itertools import permutations
+
+    spec = ReplaySpec()
+    results = [
+        replay_cell(spec, key, cell)
+        for key, cell in TenantShardPolicy().split(mixed_trace)
+    ]
+    reference = None
+    for order in permutations(range(len(results))):
+        merge = StreamingMerge(mixed_trace, spec)
+        for index in order:
+            merge.add(results[index])
+        report = merge.finalize().to_dict()
+        if reference is None:
+            reference = report
+        assert report == reference, order
+
+
+def test_streaming_merge_rejects_duplicate_cells(mixed_trace):
+    spec = ReplaySpec()
+    key, cell = TenantShardPolicy().split(mixed_trace)[0]
+    result = replay_cell(spec, key, cell)
+    merge = StreamingMerge(mixed_trace, spec)
+    merge.add(result)
+    with pytest.raises(ValueError):
+        merge.add(result)
+
+
+def test_stream_flag_never_changes_report(mixed_trace):
+    """Streamed work stealing == static batching, byte for byte."""
+    from repro.metrics.report import render_json
+
+    spec = ReplaySpec()
+    batched = run_parallel_replay(
+        mixed_trace, spec, shards=3, workers=2, stream=False
+    )
+    streamed = run_parallel_replay(
+        mixed_trace, spec, shards=3, workers=2, stream=True
+    )
+    assert render_json(batched.to_dict()) == render_json(streamed.to_dict())
+    assert batched.streamed is False and streamed.streamed is True
+    import sys
+
+    if sys.platform != "win32":  # max_rss_mb() is documented 0.0 there
+        assert streamed.rss_mb > 0
 
 
 def test_timeslice_policy_also_shard_invariant(mixed_trace):

@@ -95,6 +95,52 @@ def test_worker_count_never_changes_merged_report(events, profile_map):
     assert one == two
 
 
+def _skewed_events(draw_events):
+    """Skew a random event list: the first tenant gets ~10x the events."""
+    hot = [
+        TraceEvent(
+            at_s=event.at_s + 0.1 * i,
+            tenant=TENANTS[0],
+            app=event.app,
+            fanout=event.fanout,
+            seed=event.seed + i,
+        )
+        for event in draw_events
+        for i in range(3)
+    ]
+    return draw_events + hot
+
+
+@settings(max_examples=2, deadline=None,
+          suppress_health_check=list(HealthCheck))
+@given(events=events, profile_map=profiles, seed=st.integers(0, 2**16))
+def test_streamed_work_stealing_matches_serial_byte_for_byte(
+    events, profile_map, seed
+):
+    """The tentpole invariant: the streaming work-stealing engine merges
+    byte-identical to the serial path over random skewed traces, across
+    shards 1/2/4 x workers 1/2 — completion/steal order never leaks."""
+    from repro.metrics.report import render_json
+
+    trace = InvocationTrace(events=_skewed_events(events), name="prop-skew")
+    spec = ReplaySpec(
+        default_app="wc", seed=seed, tenant_profiles=profile_map or None
+    )
+    serial = render_json(
+        run_parallel_replay(
+            trace, spec, shards=1, workers=1, stream=False
+        ).to_dict()
+    )
+    for shards in (1, 2, 4):
+        for workers in (1, 2):
+            streamed = run_parallel_replay(
+                trace, spec, shards=shards, workers=workers, stream=True
+            )
+            assert render_json(streamed.to_dict()) == serial, (
+                shards, workers,
+            )
+
+
 @settings(max_examples=25, deadline=None,
           suppress_health_check=list(HealthCheck))
 @given(

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Record replay-engine benchmark points into ``BENCH_replay.json``.
+
+Runs the benches defined in ``benchmarks/test_bench_replay.py`` (the
+same code the pytest benchmarks execute), prints each point as a
+``BENCH {json}`` line, and appends one run entry — throughput,
+skew-stealing, and a per-engine peak-RSS comparison — to the committed
+trajectory file::
+
+    PYTHONPATH=src python tools/bench_replay.py                 # ~900-event run
+    PYTHONPATH=src python tools/bench_replay.py --scale 114     # ~100k-event run
+    PYTHONPATH=src python tools/bench_replay.py --output /tmp/b.json
+
+The memory point replays the skewed trace once per engine in a *fresh
+subprocess* so each engine's ``ru_maxrss`` high-water mark is measured
+in isolation (within one process the mark is monotonic and the second
+engine could never measure below the first).
+
+CI runs this at reduced scale and uploads the result as an artifact;
+full-scale runs are recorded manually and committed so the perf
+trajectory of the engine is diffable across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_replay_module", ROOT / "benchmarks" / "test_bench_replay.py"
+)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+DEFAULT_OUTPUT = ROOT / "BENCH_replay.json"
+
+
+def _engine_subprocess(engine: str, scale: float, workers: int) -> dict:
+    """Run one engine over the skewed trace in a fresh process and
+    report its isolated wall clock and peak RSS."""
+    out = subprocess.run(
+        [
+            sys.executable, str(Path(__file__).resolve()),
+            "--engine", engine, "--scale", str(scale),
+            "--workers", str(workers),
+        ],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _run_engine(engine: str, scale: float, workers: int) -> dict:
+    result = bench.replay_skewed(engine == "streamed", scale, workers)
+    return {
+        "engine": engine,
+        "events": result.offered,
+        "wall_s": round(result.wall_s, 4),
+        "max_rss_mb": round(result.rss_mb, 1),
+    }
+
+
+def memory_point(scale: float, workers: int) -> dict:
+    """Per-engine peak RSS over the skewed trace, isolated per process."""
+    streamed = _engine_subprocess("streamed", scale, workers)
+    batched = _engine_subprocess("batched", scale, workers)
+    return {
+        "bench": "replay_memory",
+        "events": streamed["events"],
+        "workers": workers,
+        "streamed_wall_s": streamed["wall_s"],
+        "batched_wall_s": batched["wall_s"],
+        "streamed_max_rss_mb": streamed["max_rss_mb"],
+        "batched_max_rss_mb": batched["max_rss_mb"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record replay bench points into BENCH_replay.json"
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace duration multiplier (1.0 ~= 900 "
+                        "events; ~114 gives the 100k-event trace)")
+    parser.add_argument("--workers", type=int, default=bench.WORKERS,
+                        help=f"worker processes (default: {bench.WORKERS})")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory file to append the run to "
+                        "(default: BENCH_replay.json at the repo root)")
+    parser.add_argument("--points", default="throughput,skew,memory",
+                        help="comma-separated subset of "
+                        "throughput,skew,memory to record (full-scale "
+                        "runs usually record skew/memory only)")
+    parser.add_argument("--engine", choices=["streamed", "batched"],
+                        help=argparse.SUPPRESS)  # internal subprocess mode
+    args = parser.parse_args(argv)
+
+    if args.engine:
+        print(json.dumps(_run_engine(args.engine, args.scale, args.workers)))
+        return 0
+
+    selected = {name.strip() for name in args.points.split(",") if name.strip()}
+    unknown = selected - {"throughput", "skew", "memory"}
+    if unknown:
+        parser.error(f"unknown --points: {sorted(unknown)}")
+    if not selected:
+        parser.error("--points selected nothing to record")
+    points = []
+    if "throughput" in selected:
+        points.append(bench.throughput_point(args.scale))
+    if "skew" in selected:
+        points.append(bench.skew_point(args.scale, args.workers))
+    if "memory" in selected:
+        points.append(memory_point(args.scale, args.workers))
+    for point in points:
+        print("BENCH " + json.dumps(point, sort_keys=True))
+
+    run = {
+        "recorded": time.strftime("%Y-%m-%d"),
+        "scale": args.scale,
+        "points": points,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    if args.output.exists():
+        payload = json.loads(args.output.read_text())
+    else:
+        payload = {"bench": "replay", "runs": []}
+    payload["runs"].append(run)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[appended run to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
