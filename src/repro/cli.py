@@ -12,6 +12,7 @@ One entry point for everything the reproduction can do::
     repro apps
     repro systems
     repro validate my_workflow.dsl
+    repro serve --port 8080 --workers 2
 
 Installed as a ``console_scripts`` entry (``repro``) and runnable as
 ``python -m repro``.  Subcommands:
@@ -54,6 +55,12 @@ Installed as a ``console_scripts`` entry (``repro``) and runnable as
 
 ``validate``
     Lint a Figure-7 DSL workflow file and print its structure.
+
+``serve``
+    Run the long-running HTTP orchestration service
+    (:mod:`repro.serve`): submit runs over REST (``POST /v1/runs``),
+    poll for merged reports, and stream NDJSON per-cell progress
+    (``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -523,6 +530,54 @@ def cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import create_server
+
+    if not 0 <= args.port <= 65535:
+        raise CliError(f"--port must be 0..65535, got {args.port}")
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    default_config = None
+    if args.tenant_config:
+        # Same fail-fast gate as replay: a bad profile file kills the
+        # server at boot with the tenant's name, not the first request.
+        default_config = _load_tenant_config(
+            args.tenant_config, "dataflower", "round_robin"
+        )
+    try:
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            default_tenant_config=default_config,
+        )
+    except OSError as exc:
+        raise CliError(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from None
+    # Ctrl-C raises KeyboardInterrupt already; make SIGTERM (what CI,
+    # shells backgrounding the server, and orchestrators send) take the
+    # same clean-shutdown path instead of the default hard kill.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    print(f"repro serve listening on {server.url} "
+          f"({args.workers} job worker(s); see docs/serve.md)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     try:
         text = open(args.file).read()
@@ -678,6 +733,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("file", help="path to a workflow definition")
     validate.set_defaults(func=cmd_validate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running HTTP orchestration service (REST + NDJSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral port "
+                       "(default: 8080)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job worker threads; each run may "
+                       "additionally request its own replay process pool "
+                       "(default: 2)")
+    serve.add_argument("--tenant-config", default=None,
+                       help="default per-tenant profile file applied to "
+                       "runs that carry no inline tenant_config "
+                       "(JSON or YAML-lite, see docs/tenancy.md)")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -106,7 +106,45 @@ def tag_tenant_profiles(payload: dict, profiles: dict) -> dict:
     return payload
 
 
-def render_json(payload: Any, indent: int = 2) -> str:
+#: Version stamp every event envelope carries, so NDJSON consumers can
+#: detect schema changes without sniffing field sets.
+EVENT_SCHEMA_VERSION = 1
+
+
+def event_envelope(kind: str, body: dict, seq: Optional[int] = None) -> dict:
+    """A stable JSON event envelope for streamed progress records.
+
+    The envelope fixes the leading keys — ``event`` (the kind), ``v``
+    (:data:`EVENT_SCHEMA_VERSION`), and ``seq`` when given — and sorts
+    the body's keys, so the serialized line for a given event is
+    byte-stable across producers and Python versions.  The HTTP
+    service's NDJSON stream (``GET /v1/runs/<id>/events``) emits one
+    envelope per line via :func:`render_event`.
+    """
+    envelope: dict = {"event": kind, "v": EVENT_SCHEMA_VERSION}
+    if seq is not None:
+        envelope["seq"] = seq
+    for key in sorted(body):
+        if key in envelope:
+            raise ValueError(f"event body may not override envelope key {key!r}")
+        envelope[key] = body[key]
+    return envelope
+
+
+def render_event(envelope: dict) -> str:
+    """Serialize one event envelope as a compact single NDJSON line.
+
+    Same strict-JSON rules as :func:`render_json` (NaN/inf become
+    null, summaries serialize through :func:`summary_to_dict`), but
+    compact separators and no indentation — one event, one line.
+    """
+    text = render_json(envelope, indent=None)
+    if "\n" in text:  # pragma: no cover - json.dumps never wraps here
+        raise ValueError("event envelope serialized to multiple lines")
+    return text
+
+
+def render_json(payload: Any, indent: Optional[int] = 2) -> str:
     """Serialize a report payload as strict JSON (NaN/inf become null)."""
 
     def default(value: Any) -> Any:
@@ -127,4 +165,7 @@ def render_json(payload: Any, indent: int = 2) -> str:
             return [sanitize(v) for v in value]
         return value
 
-    return json.dumps(sanitize(payload), indent=indent, default=default)
+    separators = (",", ":") if indent is None else None
+    return json.dumps(
+        sanitize(payload), indent=indent, separators=separators, default=default
+    )

@@ -29,7 +29,12 @@ from .policy import (
     get_shard_policy,
     shard_policy_names,
 )
-from .profiles import TenantConfig, TenantProfile, TenantProfileError
+from .profiles import (
+    TenantConfig,
+    TenantProfile,
+    TenantProfileError,
+    validated_tenant_config,
+)
 from .spec import ReplaySpec, ResolvedProfile
 
 __all__ = [
@@ -52,4 +57,5 @@ __all__ = [
     "replay_cell",
     "run_parallel_replay",
     "shard_policy_names",
+    "validated_tenant_config",
 ]

@@ -49,7 +49,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from itertools import islice
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..loadgen.trace import InvocationTrace, TraceRunResult, run_trace
 from ..metrics.latency import LatencySummary, RequestRecord
@@ -394,7 +394,7 @@ def _stream_cells(
     cells: List[Cell],
     spec: ReplaySpec,
     workers: int,
-    merge: StreamingMerge,
+    fold: Callable[[CellResult], None],
     policy: ShardPolicy,
 ) -> None:
     """Work-stealing fan-out: one task per cell, folded as completed.
@@ -425,7 +425,7 @@ def _stream_cells(
                 # Refill the window before folding so the pool stays fed.
                 for key, cell_trace in islice(queue, 1):
                     pending.add(pool.submit(replay_cell, spec, key, cell_trace))
-                merge.add(future.result())
+                fold(future.result())
 
 
 def run_parallel_replay(
@@ -435,6 +435,7 @@ def run_parallel_replay(
     workers: Optional[int] = None,
     policy: Union[str, ShardPolicy] = "tenant",
     stream: bool = True,
+    on_cell: Optional[Callable[[CellResult], None]] = None,
 ) -> ParallelReplayResult:
     """Replay a trace across worker processes and merge the results.
 
@@ -448,6 +449,14 @@ def run_parallel_replay(
     — never on ``shards``, ``workers``, ``stream``, or completion
     order.  At one worker (or one cell) both modes degrade to the same
     in-process serial fold.
+
+    ``on_cell`` is an observation hook: it runs in the parent process
+    with each :class:`CellResult` immediately after that cell folds
+    into the merge, in completion order (which is scheduling-dependent
+    under parallelism — observers must not infer order).  The HTTP
+    service streams per-cell progress through it without forking the
+    engine.  The hook must treat the cell as read-only; an exception it
+    raises aborts the replay.
     """
     if isinstance(policy, str):
         policy = get_shard_policy(policy)
@@ -459,14 +468,20 @@ def run_parallel_replay(
     if shards < 1:
         raise ValueError("shards must be >= 1")
     merge = StreamingMerge(trace, spec)
+
+    def fold(cell: CellResult) -> None:
+        merge.add(cell)
+        if on_cell is not None:
+            on_cell(cell)
+
     start = time.perf_counter()
     if stream:
         cells = policy.split(trace)
         if workers == 1 or len(cells) <= 1:
             for key, cell_trace in cells:
-                merge.add(replay_cell(spec, key, cell_trace))
+                fold(replay_cell(spec, key, cell_trace))
         else:
-            _stream_cells(cells, spec, workers, merge, policy)
+            _stream_cells(cells, spec, workers, fold, policy)
     else:
         batches = partition_trace(trace, shards, policy)
         payloads = [
@@ -477,14 +492,14 @@ def run_parallel_replay(
         if workers == 1 or len(payloads) <= 1:
             for payload in payloads:
                 for cell in _replay_shard(payload).cells:
-                    merge.add(cell)
+                    fold(cell)
         else:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(payloads))
             ) as pool:
                 for shard in pool.map(_replay_shard, payloads):
                     for cell in shard.cells:
-                        merge.add(cell)
+                        fold(cell)
     wall_s = time.perf_counter() - start
     merged = merge.finalize()
     merged.policy_name = policy.name

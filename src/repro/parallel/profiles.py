@@ -41,6 +41,7 @@ __all__ = [
     "TenantProfile",
     "TenantProfileError",
     "parse_yaml_lite",
+    "validated_tenant_config",
 ]
 
 
@@ -215,6 +216,24 @@ class TenantConfig:
                 ),
                 base_placement=base_placement,
             )
+
+
+def validated_tenant_config(
+    payload: dict, base_system: str, base_placement: str
+) -> TenantConfig:
+    """Parse *and* registry-validate an inline tenant-config payload.
+
+    The single fail-fast gate every request path shares: the CLI runs
+    loaded ``--tenant-config`` files through the same
+    :meth:`TenantConfig.validate`, and the HTTP service
+    (:mod:`repro.serve`) routes inline ``tenant_config`` request bodies
+    here, so a profile naming an unknown system or placement dies with
+    the same named-tenant :class:`TenantProfileError` whether it
+    arrived as a file or as JSON over REST — never inside a worker.
+    """
+    config = TenantConfig.from_payload(payload)
+    config.validate(base_system, base_placement)
+    return config
 
 
 def _validate_profile(

@@ -1,0 +1,292 @@
+"""The HTTP front-end: stdlib ``ThreadingHTTPServer`` + route table.
+
+``repro serve`` turns the simulator into a long-running orchestration
+service (the DataFlower premise: orchestration is a persistent service
+reacting to data availability, not a batch script).  The surface is
+deliberately small and fully documented in ``docs/serve.md``:
+
+=======  =====================  ==========================================
+method   path                   purpose
+=======  =====================  ==========================================
+GET      /healthz               liveness + job-state counters
+GET      /v1/apps               the app registry (``repro apps``)
+GET      /v1/systems            the system registry (``repro systems``)
+GET      /v1/policies           placement + shard policy registries
+GET      /v1/runs               submission-ordered job listing
+POST     /v1/runs               submit a run (202 + job id)
+GET      /v1/runs/<id>          job status + the merged report
+GET      /v1/runs/<id>/events   NDJSON progress stream (per-cell events)
+=======  =====================  ==========================================
+
+Dependency-free by design: :mod:`http.server` handles the transport,
+one daemon thread per connection, and the shared
+:class:`~repro.serve.jobs.JobStore` owns all cross-request state.
+``tools/check_docs.py`` asserts every route in :data:`ROUTES` appears
+in ``docs/serve.md``, so the table above cannot drift from the docs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from functools import lru_cache
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..metrics.report import render_event, render_json
+from ..parallel.profiles import TenantConfig
+from .jobs import JobStore, UnknownJob
+from .validation import BadRequest, parse_run_request
+
+__all__ = ["ROUTES", "ReproServer", "create_server"]
+
+#: Every route the service answers: ``(method, path pattern, summary)``.
+#: ``tools/check_docs.py`` fails if a pattern here has no matching
+#: section in ``docs/serve.md`` — the docs are part of the API.
+ROUTES = [
+    ("GET", "/healthz", "liveness and job-state counters"),
+    ("GET", "/v1/apps", "registered applications"),
+    ("GET", "/v1/systems", "execution systems"),
+    ("GET", "/v1/policies", "placement and shard policies"),
+    ("GET", "/v1/runs", "submission-ordered job listing"),
+    ("POST", "/v1/runs", "submit a run"),
+    ("GET", "/v1/runs/<id>", "job status plus the merged report"),
+    ("GET", "/v1/runs/<id>/events", "NDJSON progress stream"),
+]
+
+#: Largest accepted request body; a trace bigger than this belongs on
+#: disk and in `repro replay`, not inline in one POST.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_RUN_PATH = re.compile(r"^/v1/runs/([^/]+)$")
+_EVENTS_PATH = re.compile(r"^/v1/runs/([^/]+)/events$")
+
+
+@lru_cache(maxsize=1)
+def _registry_payloads() -> Tuple[list, list, dict]:
+    """(apps, systems, policies) registry listings, JSON-ready.
+
+    The registries are static for the process lifetime, and building
+    the apps listing constructs every registered workflow — cache the
+    whole table instead of rebuilding it per GET.  Handlers treat the
+    cached payloads as read-only.
+    """
+    from ..apps import registered_apps
+    from ..experiments.common import SYSTEM_CLASSES
+    from ..parallel.policy import shard_policy_names
+    from ..systems.placement import policy_names
+
+    apps = []
+    for spec in registered_apps():
+        workflow = spec.build()
+        apps.append(
+            {
+                "name": spec.short_name,
+                "title": spec.title,
+                "functions": len(workflow.functions),
+                "default_input_bytes": spec.default_input_bytes,
+                "default_fanout": spec.default_fanout,
+            }
+        )
+    systems = [
+        {
+            "name": name,
+            "class": cls.__name__,
+            "summary": (cls.__doc__ or "").strip().splitlines()[0],
+        }
+        for name, cls in SYSTEM_CLASSES.items()
+    ]
+    policies = {
+        "placement": policy_names(),
+        "shard": shard_policy_names(),
+    }
+    return apps, systems, policies
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route dispatch; all state lives on ``self.server`` (the store)."""
+
+    server: "ReproServer"
+    # HTTP/1.0 keeps the NDJSON stream simple: no Content-Length means
+    # "read until the server closes the connection".
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = (render_json(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- GET ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                return self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "jobs": self.server.store.counts(),
+                        "workers": self.server.store.workers,
+                    },
+                )
+            if path in ("/v1/apps", "/v1/systems", "/v1/policies"):
+                apps, systems, policies = _registry_payloads()
+                payload = {
+                    "/v1/apps": {"apps": apps},
+                    "/v1/systems": {"systems": systems},
+                    "/v1/policies": {"policies": policies},
+                }[path]
+                return self._send_json(200, payload)
+            if path == "/v1/runs":
+                return self._send_json(200, {"runs": self.server.store.list()})
+            match = _EVENTS_PATH.match(path)
+            if match:
+                return self._stream_events(match.group(1))
+            match = _RUN_PATH.match(path)
+            if match:
+                return self._send_json(
+                    200, self.server.store.snapshot(match.group(1))
+                )
+            self._send_error_json(404, f"no such path: {path}")
+        except UnknownJob as exc:
+            self._send_error_json(404, f"no such run: {exc.args[0]}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def _stream_events(self, job_id: str) -> None:
+        """``GET /v1/runs/<id>/events``: one envelope per NDJSON line.
+
+        The full history replays first (a late subscriber misses
+        nothing), then lines follow live until the job is terminal.
+        The response carries no Content-Length — end-of-stream is the
+        connection closing.
+        """
+        store = self.server.store
+        follower = store.follow(job_id)
+        try:
+            first = next(follower)
+        except StopIteration:  # pragma: no cover - jobs always log 'queued'
+            first = None
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        if first is not None:
+            self.wfile.write((render_event(first) + "\n").encode("utf-8"))
+        for envelope in follower:
+            self.wfile.write((render_event(envelope) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+    # -- POST -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path != "/v1/runs":
+                return self._send_error_json(404, f"no such path: {path}")
+            try:
+                length = int(self.headers.get("Content-Length", ""))
+            except ValueError:
+                return self._send_error_json(
+                    411, "a run submission needs a Content-Length body"
+                )
+            if length < 0:
+                # rfile.read(-1) would block until client EOF, pinning
+                # this connection thread forever.
+                return self._send_error_json(
+                    400, f"invalid Content-Length: {length}"
+                )
+            if length > MAX_BODY_BYTES:
+                return self._send_error_json(
+                    413,
+                    f"request body over {MAX_BODY_BYTES} bytes; replay "
+                    f"large traces from disk via the CLI",
+                )
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return self._send_error_json(400, f"invalid JSON body: {exc}")
+            try:
+                request = parse_run_request(
+                    payload, self.server.default_tenant_config
+                )
+            except BadRequest as exc:
+                return self._send_error_json(400, str(exc))
+            job_id = self.server.store.submit(request)
+            self._send_json(
+                202,
+                {
+                    "id": job_id,
+                    "status": "queued",
+                    "url": f"/v1/runs/{job_id}",
+                    "events_url": f"/v1/runs/{job_id}/events",
+                },
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The service: transport + the shared job store."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: JobStore,
+        default_tenant_config: Optional[TenantConfig] = None,
+        quiet: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+        self.default_tenant_config = default_tenant_config
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and join the job workers (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        self.store.close()
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 2,
+    default_tenant_config: Optional[TenantConfig] = None,
+    quiet: bool = False,
+    max_finished: int = 256,
+) -> ReproServer:
+    """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
+
+    The caller drives it: ``serve_forever()`` in the foreground (the
+    CLI) or a background thread (tests), then :meth:`ReproServer.close`.
+    ``max_finished`` bounds how many terminal jobs stay queryable
+    (oldest evicted first) so the service's memory never grows with
+    total jobs ever submitted.
+    """
+    return ReproServer(
+        (host, port),
+        JobStore(workers=workers, max_finished=max_finished),
+        default_tenant_config=default_tenant_config,
+        quiet=quiet,
+    )

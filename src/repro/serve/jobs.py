@@ -1,0 +1,281 @@
+"""The job store and worker pool behind ``repro serve``.
+
+A submitted run becomes a :class:`Job` that moves through ``queued →
+running → done | failed``.  A fixed pool of daemon *job-worker threads*
+pulls jobs off a FIFO queue and executes each through
+:func:`repro.parallel.engine.run_parallel_replay` — the in-process
+serial fold when the request asked for one worker, the streaming
+work-stealing process pool otherwise — so the service adds scheduling
+around the engine, never a second execution path.
+
+Progress streams through the engine's ``on_cell`` hook: every folded
+:class:`~repro.parallel.engine.CellResult` appends one stable event
+envelope (:func:`repro.metrics.report.event_envelope`) to the job's
+event log and wakes any ``GET /v1/runs/<id>/events`` subscriber waiting
+on the store's condition variable.  Event logs are append-only, so a
+late subscriber replays the full history before following live.
+
+Determinism note: the *report* a job produces is the engine's merged
+``to_dict`` — byte-identical to ``repro replay`` on the same spec and
+seed.  The *event log* is progress telemetry: cell completion order and
+wall-clock fields are scheduling-dependent and deliberately kept out of
+the report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..metrics.report import event_envelope
+from ..parallel.engine import CellResult, run_parallel_replay
+from .validation import RunRequest
+
+__all__ = ["Job", "JobStore", "UnknownJob"]
+
+#: States a job can rest in; the last two are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+_TERMINAL = ("done", "failed")
+
+
+class UnknownJob(KeyError):
+    """No job with that id; the HTTP layer answers 404."""
+
+
+@dataclass
+class Job:
+    """One submitted run and everything it has produced so far.
+
+    All mutable fields are guarded by the owning store's condition
+    variable; readers outside the store go through
+    :meth:`JobStore.snapshot` / :meth:`JobStore.follow`.
+    """
+
+    id: str
+    request: RunRequest
+    status: str = "queued"
+    #: The deterministic merged report (``done`` jobs only).
+    report: Optional[dict] = None
+    error: Optional[str] = None
+    #: Append-only NDJSON event log (envelopes, in append order).
+    events: List[dict] = field(default_factory=list)
+
+
+class JobStore:
+    """Thread-safe job registry plus the worker pool that drains it.
+
+    Retention is bounded: at most ``max_finished`` terminal (``done`` /
+    ``failed``) jobs are kept, oldest evicted first at submission time,
+    so a long-running service's memory is bounded by the retention
+    window — never by total jobs ever submitted.  Queued and running
+    jobs are never evicted; an evicted id answers 404.
+    """
+
+    def __init__(self, workers: int = 2, max_finished: int = 256) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self.max_finished = max_finished
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.workers = workers
+        self._threads = [
+            threading.Thread(
+                target=self._drain, name=f"repro-serve-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission and lookup ------------------------------------------------
+
+    def submit(self, request: RunRequest) -> str:
+        """Enqueue a validated run; returns the new job id."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("job store is shut down")
+            job_id = f"run-{next(self._ids):06d}"
+            job = Job(id=job_id, request=request)
+            self._jobs[job_id] = job
+            self._append(job, "queued", {"run_id": job_id,
+                                         "request": request.summary})
+            self._evict()
+        self._queue.put(job_id)
+        return job_id
+
+    def _evict(self) -> None:
+        """Drop the oldest terminal jobs beyond ``max_finished`` (lock
+        held; runs on every submission and terminal transition).
+        Followers mid-stream keep their Job reference — an evicted job
+        is terminal, so they drain its fixed event log and finish; only
+        new lookups see the 404."""
+        terminal = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.status in _TERMINAL
+        ]
+        for job_id in terminal[: max(0, len(terminal) - self.max_finished)]:
+            del self._jobs[job_id]
+
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def snapshot(self, job_id: str) -> dict:
+        """A consistent JSON-ready view of one job (``GET /v1/runs/<id>``)."""
+        with self._cond:
+            job = self._get(job_id)
+            view: dict = {
+                "id": job.id,
+                "status": job.status,
+                "request": dict(job.request.summary),
+                "cells_done": sum(
+                    1 for event in job.events if event["event"] == "cell"
+                ),
+                "cells": len(job.request.trace.tenants()),
+            }
+            if job.error is not None:
+                view["error"] = job.error
+            # The report sub-object is the engine's to_dict verbatim —
+            # byte-identical to `repro replay` on the same seed.
+            view["report"] = job.report
+            return view
+
+    def list(self) -> List[dict]:
+        """Submission-ordered one-line summaries (``GET /v1/runs``)."""
+        with self._cond:
+            return [
+                {
+                    "id": job.id,
+                    "status": job.status,
+                    "url": f"/v1/runs/{job.id}",
+                }
+                for job in self._jobs.values()
+            ]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state, every state present (``GET /healthz``)."""
+        with self._cond:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.status] += 1
+            return counts
+
+    # -- event streaming ------------------------------------------------------
+
+    def follow(
+        self, job_id: str, poll_s: float = 0.25
+    ) -> Iterator[dict]:
+        """Yield a job's event envelopes: full history, then live.
+
+        Terminates once the job is terminal and every event has been
+        yielded.  ``poll_s`` bounds how long one wait sleeps, so a
+        disconnected client is noticed promptly by the caller's write
+        failing on the next yielded event.  The job resolves once, up
+        front: eviction mid-stream cannot break an attached follower.
+        """
+        with self._cond:
+            job = self._get(job_id)
+        index = 0
+        while True:
+            with self._cond:
+                while len(job.events) <= index and job.status not in _TERMINAL:
+                    self._cond.wait(poll_s)
+                batch = job.events[index:]
+                index += len(batch)
+                finished = job.status in _TERMINAL and index >= len(job.events)
+            yield from batch
+            if finished:
+                return
+
+    def _append(self, job: Job, kind: str, body: dict) -> None:
+        """Append one envelope and wake subscribers (lock held)."""
+        job.events.append(event_envelope(kind, body, seq=len(job.events)))
+        self._cond.notify_all()
+
+    # -- execution ------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            self._execute(self._jobs[job_id])
+
+    def _execute(self, job: Job) -> None:
+        request = job.request
+        with self._cond:
+            job.status = "running"
+            self._append(job, "running", {"run_id": job.id})
+
+        def on_cell(cell: CellResult) -> None:
+            completed = failed = 0
+            for record in cell.records:
+                if record.completed:
+                    completed += 1
+                elif record.failed:
+                    failed += 1
+            with self._cond:
+                self._append(
+                    job,
+                    "cell",
+                    {
+                        "run_id": job.id,
+                        "cell": cell.key,
+                        "offered": cell.offered,
+                        "completed": completed,
+                        "failed": failed,
+                        "wall_s": round(cell.wall_s, 6),
+                    },
+                )
+
+        try:
+            # shards=workers keeps the static batched engine
+            # (stream=False) actually parallel at the requested width;
+            # the streaming engine ignores shards, and the merged
+            # report is shard-invariant either way.
+            result = run_parallel_replay(
+                request.trace,
+                request.spec,
+                shards=request.workers,
+                workers=request.workers,
+                stream=request.stream,
+                on_cell=on_cell,
+            )
+            report = result.to_dict()
+            with self._cond:
+                job.report = report
+                job.status = "done"
+                self._append(
+                    job, "report", {"run_id": job.id, "report": report}
+                )
+                self._evict()
+        except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+            with self._cond:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._append(
+                    job, "error", {"run_id": job.id, "message": job.error}
+                )
+                self._evict()
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop accepting jobs and join the worker threads."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)

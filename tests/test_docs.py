@@ -8,7 +8,14 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "tools"))
 
-from check_docs import check_file, python_blocks  # noqa: E402
+from check_docs import (  # noqa: E402
+    check_cli_coverage,
+    check_file,
+    check_route_coverage,
+    cli_subcommands,
+    python_blocks,
+    serve_routes,
+)
 
 DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
 
@@ -18,7 +25,7 @@ def test_docs_exist():
     names = {path.name for path in DOC_FILES}
     assert {
         "architecture.md", "execution-model.md", "experiments.md",
-        "scaling.md",
+        "scaling.md", "tenancy.md", "serve.md", "index.md",
     } <= names
 
 
@@ -36,3 +43,40 @@ def test_docs_have_runnable_blocks():
     assert counts["README.md"] >= 1
     assert counts["execution-model.md"] >= 1
     assert counts["experiments.md"] >= 1
+    assert counts["serve.md"] >= 1
+
+
+def test_every_cli_subcommand_is_documented():
+    corpus = "\n".join(path.read_text() for path in DOC_FILES)
+    assert "serve" in cli_subcommands()  # the parser wiring itself
+    assert check_cli_coverage(corpus) == []
+
+
+def test_every_rest_route_is_documented():
+    patterns = {pattern for _method, pattern in serve_routes()}
+    assert {"/healthz", "/v1/runs", "/v1/runs/<id>",
+            "/v1/runs/<id>/events"} <= patterns
+    assert check_route_coverage(ROOT / "docs" / "serve.md") == []
+
+
+def test_route_coverage_catches_missing_sections(tmp_path):
+    # The checker must actually fail when an endpoint goes undocumented.
+    stub = tmp_path / "serve.md"
+    stub.write_text("# stub\n\nGET /healthz only\n")
+    failures = check_route_coverage(stub)
+    assert any("/v1/runs" in failure for failure in failures)
+    assert check_route_coverage(tmp_path / "missing.md")
+    assert check_cli_coverage("nothing documented here")
+
+
+def test_route_coverage_requires_whole_route_mentions(tmp_path):
+    # A longer sibling must not satisfy a prefix route: documenting
+    # GET /v1/runs/<id> alone leaves GET /v1/runs (the listing) and
+    # the /events stream undocumented.
+    stub = tmp_path / "serve.md"
+    stub.write_text("# stub\n\nOnly `GET /v1/runs/<id>` is described.\n")
+    failures = check_route_coverage(stub)
+    assert any(
+        "GET /v1/runs " in failure for failure in failures
+    ), failures
+    assert any("/v1/runs/<id>/events" in failure for failure in failures)

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Check that every ``python`` code block in the docs actually runs.
+"""Check that the docs run and cover the public surface.
 
-Extracts fenced ```python blocks from README.md and docs/*.md and
-executes each in a fresh namespace (so docs never drift from the code).
-Blocks fenced with any other info string (```text, ```console, ```json,
-...) are ignored.
+Three enforcement passes, so docs never drift from the code:
+
+1. **Code blocks run.**  Every fenced ```python block in README.md and
+   docs/*.md executes in a fresh namespace.  Blocks fenced with any
+   other info string (```text, ```console, ```json, ...) are ignored.
+2. **CLI coverage.**  Every ``repro`` subcommand registered in
+   :func:`repro.cli.build_parser` must be mentioned somewhere in the
+   docs corpus — adding a subcommand without documenting it fails CI.
+3. **REST coverage.**  Every route in :data:`repro.serve.ROUTES` must
+   appear (method and path pattern) in ``docs/serve.md`` — adding an
+   endpoint to ``src/repro/serve/`` without a matching reference
+   section fails CI.
 
 Usage:  PYTHONPATH=src python tools/check_docs.py [paths...]
+(Coverage passes run only on the default full-corpus invocation.)
 """
 
 from __future__ import annotations
@@ -15,6 +24,10 @@ import re
 import sys
 from pathlib import Path
 from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
 
 FENCE = re.compile(r"^```(\w*)\s*$")
 
@@ -51,12 +64,66 @@ def check_file(path: Path) -> Tuple[int, List[str]]:
     return len(blocks), failures
 
 
+def cli_subcommands() -> List[str]:
+    """Every registered ``repro`` subcommand name, from the live parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        return sorted(action.choices)
+    return []
+
+
+def serve_routes() -> List[Tuple[str, str]]:
+    """Every REST route the service answers, from the live route table."""
+    from repro.serve import ROUTES
+
+    return [(method, pattern) for method, pattern, _summary in ROUTES]
+
+
+def check_cli_coverage(corpus: str) -> List[str]:
+    """Each CLI subcommand must be named somewhere in the docs corpus."""
+    failures = []
+    for name in cli_subcommands():
+        if not re.search(rf"repro {re.escape(name)}\b", corpus):
+            failures.append(
+                f"CLI subcommand 'repro {name}' is not documented anywhere "
+                f"in README.md or docs/"
+            )
+    return failures
+
+
+def check_route_coverage(serve_doc: Path) -> List[str]:
+    """Each REST route must appear — method and path — in docs/serve.md.
+
+    Path matches are whole-route: a pattern must not continue into a
+    longer sibling (``/v1/runs`` is not documented by a mention of
+    ``/v1/runs/<id>``), enforced by the no-path-character lookahead.
+    """
+    if not serve_doc.is_file():
+        return [f"{serve_doc} is missing but repro.serve defines routes"]
+    text = serve_doc.read_text()
+    failures = []
+    for method, pattern in serve_routes():
+        exact = rf"{re.escape(pattern)}(?![/\w<])"
+        if not re.search(exact, text):
+            failures.append(
+                f"route {method} {pattern} has no matching section in "
+                f"{serve_doc.name}"
+            )
+        elif not re.search(rf"\b{method}\b[^\n]*{exact}", text):
+            failures.append(
+                f"{serve_doc.name} mentions {pattern} but never with its "
+                f"method {method}"
+            )
+    return failures
+
+
 def main(argv: List[str]) -> int:
-    root = Path(__file__).resolve().parent.parent
     paths = (
         [Path(p) for p in argv]
         if argv
-        else [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+        else [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
     )
     failures: List[str] = []
     checked = 0
@@ -64,9 +131,17 @@ def main(argv: List[str]) -> int:
         count, file_failures = check_file(path)
         checked += count
         failures.extend(file_failures)
+    coverage = 0
+    if not argv:
+        corpus = "\n".join(path.read_text() for path in paths)
+        coverage_failures = check_cli_coverage(corpus)
+        coverage_failures += check_route_coverage(ROOT / "docs" / "serve.md")
+        coverage = len(cli_subcommands()) + len(serve_routes())
+        failures.extend(coverage_failures)
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
-    print(f"checked {checked} python block(s) in {len(paths)} file(s): "
+    print(f"checked {checked} python block(s) in {len(paths)} file(s) and "
+          f"{coverage} CLI/REST surface item(s): "
           f"{'FAIL' if failures else 'ok'}")
     return 1 if failures else 0
 
