@@ -550,6 +550,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             default_tenant_config=default_config,
+            journal=args.journal,
         )
     except OSError as exc:
         raise CliError(
@@ -567,8 +568,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, _terminate)
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
+    durability = f"journal: {args.journal}" if args.journal else "no journal"
+    # flush: orchestrators and test harnesses parse this line from a
+    # pipe to learn the ephemeral port before the first request.
     print(f"repro serve listening on {server.url} "
-          f"({args.workers} job worker(s); see docs/serve.md)")
+          f"({args.workers} job worker(s); {durability}; "
+          f"see docs/serve.md)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -751,6 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-tenant profile file applied to "
                        "runs that carry no inline tenant_config "
                        "(JSON or YAML-lite, see docs/tenancy.md)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="durable run journal (append-only JSONL): "
+                       "runs survive restarts and resume from completed "
+                       "cells; restarting on the same path recovers all "
+                       "journaled runs (see docs/serve.md)")
     serve.set_defaults(func=cmd_serve)
 
     return parser

@@ -49,7 +49,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from itertools import islice
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..loadgen.trace import InvocationTrace, TraceRunResult, run_trace
 from ..metrics.latency import LatencySummary, RequestRecord
@@ -88,6 +88,98 @@ class CellResult:
     #: Audit tag of the resolved tenant profile this cell replayed under
     #: (:meth:`~repro.parallel.spec.ResolvedProfile.tag`).
     profile: Dict[str, object] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """This cell as a JSON-ready dict that round-trips exactly.
+
+        The durable run journal (``repro serve --journal``) persists one
+        payload per completed cell; :meth:`from_payload` rebuilds a
+        :class:`CellResult` whose fold through :class:`StreamingMerge`
+        is byte-identical to folding the original — Python floats
+        round-trip exactly through JSON (shortest-repr), latency
+        summaries keep their sample arrays in record order, and records
+        keep their task timelines.
+        """
+        return {
+            "key": self.key,
+            "offered": self.offered,
+            "duration_s": self.duration_s,
+            "wall_s": self.wall_s,
+            "tenant_of": dict(self.tenant_of),
+            "profile": dict(self.profile),
+            "usage": None if self.usage is None else {
+                "memory_gbs": self.usage.memory_gbs,
+                "cache_mbs": self.usage.cache_mbs,
+                "completed_requests": self.usage.completed_requests,
+            },
+            "latency": (
+                None if self.latency is None
+                else list(self.latency.samples)
+            ),
+            "records": [
+                {
+                    "request_id": record.request_id,
+                    "workflow": record.workflow,
+                    "submit_time": record.submit_time,
+                    "end_time": record.end_time,
+                    "failed": record.failed,
+                    "error": record.error,
+                    "tasks": [
+                        {
+                            "task_id": task.task_id,
+                            "function": task.function,
+                            "node": task.node,
+                            "ready_time": task.ready_time,
+                            "trigger_time": task.trigger_time,
+                            "exec_start": task.exec_start,
+                            "exec_end": task.exec_end,
+                            "get_s": task.get_s,
+                            "compute_s": task.compute_s,
+                            "put_s": task.put_s,
+                            "cold_start": task.cold_start,
+                            "retries": task.retries,
+                        }
+                        for task in record.tasks
+                    ],
+                }
+                for record in self.records
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CellResult":
+        """Rebuild a :class:`CellResult` from :meth:`to_payload` output."""
+        from ..metrics.latency import TaskRecord
+
+        usage = payload.get("usage")
+        latency = payload.get("latency")
+        return cls(
+            key=payload["key"],
+            offered=payload["offered"],
+            duration_s=payload["duration_s"],
+            wall_s=payload["wall_s"],
+            tenant_of=dict(payload["tenant_of"]),
+            profile=dict(payload.get("profile") or {}),
+            usage=None if usage is None else UsageSummary(**usage),
+            latency=(
+                None if latency is None
+                else LatencySummary(samples=tuple(latency))
+            ),
+            records=[
+                RequestRecord(
+                    request_id=record["request_id"],
+                    workflow=record["workflow"],
+                    submit_time=record["submit_time"],
+                    end_time=record["end_time"],
+                    failed=record["failed"],
+                    error=record["error"],
+                    tasks=[
+                        TaskRecord(**task) for task in record.get("tasks", ())
+                    ],
+                )
+                for record in payload["records"]
+            ],
+        )
 
 
 @dataclass
@@ -436,6 +528,7 @@ def run_parallel_replay(
     policy: Union[str, ShardPolicy] = "tenant",
     stream: bool = True,
     on_cell: Optional[Callable[[CellResult], None]] = None,
+    completed_cells: Optional[Iterable[CellResult]] = None,
 ) -> ParallelReplayResult:
     """Replay a trace across worker processes and merge the results.
 
@@ -457,6 +550,18 @@ def run_parallel_replay(
     service streams per-cell progress through it without forking the
     engine.  The hook must treat the cell as read-only; an exception it
     raises aborts the replay.
+
+    ``completed_cells`` is the checkpoint/resume entry point: cells
+    already replayed (e.g. rebuilt from a durable run journal via
+    :meth:`CellResult.from_payload`) fold straight into the merge and
+    are *skipped* by the replay — only the remaining cells execute.
+    Because per-cell seeds and the canonical merge order are functions
+    of (trace, spec, policy) alone, resuming from any subset of
+    completed cells produces a report byte-identical to an
+    uninterrupted run.  ``on_cell`` fires only for newly executed
+    cells, never for pre-folded ones.  A completed cell whose key is
+    not a cell of this trace/policy raises ``ValueError`` (the
+    checkpoint belongs to a different run).
     """
     if isinstance(policy, str):
         policy = get_shard_policy(policy)
@@ -468,6 +573,19 @@ def run_parallel_replay(
     if shards < 1:
         raise ValueError("shards must be >= 1")
     merge = StreamingMerge(trace, spec)
+    skip: set = set()
+    if completed_cells is not None:
+        for cell in completed_cells:
+            merge.add(cell)  # a duplicate key raises here
+            skip.add(cell.key)
+        if skip:
+            known = {key for key, _ in policy.split(trace)}
+            unknown = sorted(skip - known)
+            if unknown:
+                raise ValueError(
+                    f"completed cells {unknown} are not cells of this "
+                    f"trace under the {policy.name!r} policy"
+                )
 
     def fold(cell: CellResult) -> None:
         merge.add(cell)
@@ -476,14 +594,19 @@ def run_parallel_replay(
 
     start = time.perf_counter()
     if stream:
-        cells = policy.split(trace)
+        cells = [
+            cell for cell in policy.split(trace) if cell[0] not in skip
+        ]
         if workers == 1 or len(cells) <= 1:
             for key, cell_trace in cells:
                 fold(replay_cell(spec, key, cell_trace))
         else:
             _stream_cells(cells, spec, workers, fold, policy)
     else:
-        batches = partition_trace(trace, shards, policy)
+        batches = [
+            [cell for cell in batch if cell[0] not in skip]
+            for batch in partition_trace(trace, shards, policy)
+        ]
         payloads = [
             (spec, index, cells)
             for index, cells in enumerate(batches)

@@ -201,6 +201,21 @@ class ReplaySpec:
         """
         return self._seed_for(cell_key, self.resolve(cell_key, cell_trace))
 
+    def cell_identity(
+        self, cell_key: str, cell_trace: Optional[InvocationTrace] = None
+    ) -> str:
+        """A stable serialized identity for one cell of this spec.
+
+        ``<key>@<cell seed>`` — the key names the cell, the derived seed
+        fingerprints everything that determines its replay (root seed
+        plus the resolved profile's system/placement).  The durable run
+        journal stamps every checkpointed cell with this token; on
+        recovery a journaled residue is only reused when the resubmitted
+        request derives the *same* identity, so a checkpoint from a
+        different seed or profile configuration is re-run, never merged.
+        """
+        return f"{cell_key}@{self.cell_seed(cell_key, cell_trace)}"
+
     def build_setup(
         self,
         cell_trace: InvocationTrace,

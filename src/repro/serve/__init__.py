@@ -15,16 +15,21 @@ Stdlib only (:mod:`http.server`); the REST surface is specified in
 
 from .app import ROUTES, ReproServer, create_server
 from .jobs import Job, JobStore, UnknownJob
+from .journal import JournalRun, JournalState, RunJournal, load_journal
 from .validation import BadRequest, RunRequest, parse_run_request
 
 __all__ = [
     "BadRequest",
     "Job",
     "JobStore",
+    "JournalRun",
+    "JournalState",
     "ROUTES",
     "ReproServer",
+    "RunJournal",
     "RunRequest",
     "UnknownJob",
     "create_server",
+    "load_journal",
     "parse_run_request",
 ]

@@ -20,7 +20,10 @@ GET      /v1/runs/<id>/events   NDJSON progress stream (per-cell events)
 
 Dependency-free by design: :mod:`http.server` handles the transport,
 one daemon thread per connection, and the shared
-:class:`~repro.serve.jobs.JobStore` owns all cross-request state.
+:class:`~repro.serve.jobs.JobStore` owns all cross-request state —
+optionally backed by a durable run journal
+(:mod:`repro.serve.journal`, ``repro serve --journal``) so runs survive
+restarts and resume from completed cells.
 ``tools/check_docs.py`` asserts every route in :data:`ROUTES` appears
 in ``docs/serve.md``, so the table above cannot drift from the docs.
 """
@@ -36,6 +39,7 @@ from typing import Optional, Tuple
 from ..metrics.report import render_event, render_json
 from ..parallel.profiles import TenantConfig
 from .jobs import JobStore, UnknownJob
+from .journal import RunJournal
 from .validation import BadRequest, parse_run_request
 
 __all__ = ["ROUTES", "ReproServer", "create_server"]
@@ -275,6 +279,7 @@ def create_server(
     default_tenant_config: Optional[TenantConfig] = None,
     quiet: bool = False,
     max_finished: int = 256,
+    journal: Optional[str] = None,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -283,10 +288,22 @@ def create_server(
     ``max_finished`` bounds how many terminal jobs stay queryable
     (oldest evicted first) so the service's memory never grows with
     total jobs ever submitted.
+
+    ``journal`` is a path to the durable run journal (``--journal`` on
+    the CLI): the store replays it before serving — finished runs
+    restore read-only, interrupted runs resume from their journaled
+    cells — and every subsequent submission, cell completion, and
+    terminal status is fsync'd to it (``docs/serve.md``, "Durability &
+    recovery").
     """
     return ReproServer(
         (host, port),
-        JobStore(workers=workers, max_finished=max_finished),
+        JobStore(
+            workers=workers,
+            max_finished=max_finished,
+            journal=None if journal is None else RunJournal(journal),
+            default_tenant_config=default_tenant_config,
+        ),
         default_tenant_config=default_tenant_config,
         quiet=quiet,
     )

@@ -1,7 +1,8 @@
 """The job store and worker pool behind ``repro serve``.
 
 A submitted run becomes a :class:`Job` that moves through ``queued →
-running → done | failed``.  A fixed pool of daemon *job-worker threads*
+running → done | failed`` (or ``queued → interrupted`` when a clean
+shutdown abandons it).  A fixed pool of daemon *job-worker threads*
 pulls jobs off a FIFO queue and executes each through
 :func:`repro.parallel.engine.run_parallel_replay` — the in-process
 serial fold when the request asked for one worker, the streaming
@@ -14,6 +15,16 @@ envelope (:func:`repro.metrics.report.event_envelope`) to the job's
 event log and wakes any ``GET /v1/runs/<id>/events`` subscriber waiting
 on the store's condition variable.  Event logs are append-only, so a
 late subscriber replays the full history before following live.
+
+Durability: a store built with a :class:`~repro.serve.journal.RunJournal`
+persists every submission, cell completion, and terminal status to an
+append-only fsync'd log.  On construction the store replays the
+journal: finished runs restore read-only, and interrupted runs *resume*
+— journaled cell residues fold back through ``StreamingMerge`` via the
+engine's ``completed_cells`` entry point and only the missing cells
+re-execute, so the resumed report is byte-identical to an uninterrupted
+run at the same seed.  Restored jobs carry ``recovered: true`` in their
+snapshots.
 
 Determinism note: the *report* a job produces is the engine's merged
 ``to_dict`` — byte-identical to ``repro replay`` on the same spec and
@@ -32,13 +43,16 @@ from typing import Dict, Iterator, List, Optional
 
 from ..metrics.report import event_envelope
 from ..parallel.engine import CellResult, run_parallel_replay
-from .validation import RunRequest
+from ..parallel.policy import get_shard_policy
+from ..parallel.profiles import TenantConfig
+from .journal import JournalState, RunJournal
+from .validation import RunRequest, parse_run_request
 
 __all__ = ["Job", "JobStore", "UnknownJob"]
 
-#: States a job can rest in; the last two are terminal.
-JOB_STATES = ("queued", "running", "done", "failed")
-_TERMINAL = ("done", "failed")
+#: States a job can rest in; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "interrupted")
+_TERMINAL = ("done", "failed", "interrupted")
 
 
 class UnknownJob(KeyError):
@@ -55,26 +69,51 @@ class Job:
     """
 
     id: str
-    request: RunRequest
+    #: ``None`` only for journal-restored terminal jobs, which never
+    #: execute again and serve snapshots from :attr:`summary` instead.
+    request: Optional[RunRequest]
     status: str = "queued"
     #: The deterministic merged report (``done`` jobs only).
     report: Optional[dict] = None
     error: Optional[str] = None
     #: Append-only NDJSON event log (envelopes, in append order).
     events: List[dict] = field(default_factory=list)
+    #: The validated request echo (kept off ``request`` so restored
+    #: jobs can answer snapshots without re-validating).
+    summary: dict = field(default_factory=dict)
+    #: Total cells the run partitions into.
+    cells: int = 0
+    #: True for jobs restored or resumed from a journal at startup.
+    recovered: bool = False
+    #: Journal-recovered cell results awaiting the resume execution
+    #: (dropped once the run reaches a terminal state).
+    preloaded: Optional[List[CellResult]] = None
 
 
 class JobStore:
     """Thread-safe job registry plus the worker pool that drains it.
 
     Retention is bounded: at most ``max_finished`` terminal (``done`` /
-    ``failed``) jobs are kept, oldest evicted first at submission time,
-    so a long-running service's memory is bounded by the retention
-    window — never by total jobs ever submitted.  Queued and running
-    jobs are never evicted; an evicted id answers 404.
+    ``failed`` / ``interrupted``) jobs are kept, oldest evicted first at
+    submission time, so a long-running service's memory is bounded by
+    the retention window — never by total jobs ever submitted.  Queued
+    and running jobs are never evicted; an evicted id answers 404.
+
+    ``journal`` makes the store durable (see the module docstring);
+    recovery runs inside the constructor, *before* the worker threads
+    start, so resumed jobs execute exactly like fresh submissions.
+    ``default_tenant_config`` mirrors the server-level ``--tenant-config``
+    so journaled requests re-validate under the same defaults they were
+    accepted under.
     """
 
-    def __init__(self, workers: int = 2, max_finished: int = 256) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        max_finished: int = 256,
+        journal: Optional[RunJournal] = None,
+        default_tenant_config: Optional[TenantConfig] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_finished < 1:
@@ -85,6 +124,16 @@ class JobStore:
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._ids = itertools.count(1)
         self._closed = False
+        self._journal = journal
+        self._default_tenant_config = default_tenant_config
+        if journal is not None:
+            # The worker threads don't exist yet, so recovery cannot
+            # race — the lock is held only because _append notifies
+            # the condition it guards.
+            with self._cond:
+                resumed = self._recover(journal.load_state())
+            for job_id in resumed:
+                self._queue.put(job_id)
         self.workers = workers
         self._threads = [
             threading.Thread(
@@ -95,19 +144,132 @@ class JobStore:
         for thread in self._threads:
             thread.start()
 
+    # -- journal recovery -----------------------------------------------------
+
+    def _recover(self, state: JournalState) -> List[str]:
+        """Rebuild jobs from a loaded journal; returns ids to re-enqueue.
+
+        Runs before the worker threads exist (constructor-only, store
+        lock held).
+        ``done``/``failed`` runs restore read-only with their journaled
+        report or error.  Anything else — ``interrupted`` by a clean
+        shutdown or simply cut off mid-run by a crash — re-validates its
+        journaled request body and resumes: journaled cell residues
+        whose identity tokens still match the request become
+        ``preloaded`` results the engine folds without re-executing.  A
+        request that no longer validates (e.g. the registry changed)
+        becomes ``failed``, never a startup crash.
+        """
+        self._ids = itertools.count(state.max_run_number() + 1)
+        resume: List[str] = []
+        for run in state.runs.values():
+            job = Job(
+                id=run.run_id,
+                request=None,
+                summary=dict(run.summary),
+                cells=run.cells_total,
+                recovered=True,
+            )
+            self._jobs[run.run_id] = job
+            self._append(
+                job, "queued", {"run_id": job.id, "request": job.summary}
+            )
+            if run.status == "done":
+                job.status = "done"
+                job.report = run.report
+                self._append(
+                    job, "recovered",
+                    {"run_id": job.id, "cells_journaled": len(run.cells)},
+                )
+                self._append(
+                    job, "report", {"run_id": job.id, "report": run.report}
+                )
+                continue
+            if run.status == "failed":
+                job.status = "failed"
+                job.error = run.error
+                self._append(
+                    job, "recovered",
+                    {"run_id": job.id, "cells_journaled": len(run.cells)},
+                )
+                self._append(
+                    job, "error", {"run_id": job.id, "message": run.error}
+                )
+                continue
+            try:
+                if run.payload is None:
+                    raise ValueError("journal has no submission body")
+                request = parse_run_request(
+                    run.payload, self._default_tenant_config
+                )
+            except Exception as exc:  # noqa: BLE001 - recovery must not crash
+                job.status = "failed"
+                job.error = (
+                    f"recovery: journaled request no longer valid: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                self._append(
+                    job, "error", {"run_id": job.id, "message": job.error}
+                )
+                if self._journal is not None:
+                    self._journal.record_failed(job.id, job.error)
+                continue
+            job.request = request
+            job.summary = dict(request.summary)
+            job.cells = len(request.trace.tenants())
+            identities = {
+                key: request.spec.cell_identity(key, cell_trace)
+                for key, cell_trace in get_shard_policy("tenant").split(
+                    request.trace
+                )
+            }
+            preloaded: List[CellResult] = []
+            for key, (identity, payload) in run.cells.items():
+                if identities.get(key) != identity:
+                    continue  # stale or foreign checkpoint: re-run the cell
+                try:
+                    preloaded.append(CellResult.from_payload(payload))
+                except Exception:  # noqa: BLE001 - a bad residue re-runs
+                    continue
+            job.preloaded = preloaded
+            self._append(
+                job, "recovered",
+                {"run_id": job.id, "cells_journaled": len(preloaded)},
+            )
+            for cell in preloaded:
+                self._append(
+                    job, "cell", self._cell_event_body(job.id, cell)
+                )
+            resume.append(job.id)
+        return resume
+
     # -- submission and lookup ------------------------------------------------
 
     def submit(self, request: RunRequest) -> str:
-        """Enqueue a validated run; returns the new job id."""
+        """Enqueue a validated run; returns the new job id.
+
+        With a journal attached, the submission record is fsync'd
+        before the job becomes runnable — an accepted run survives a
+        crash that lands immediately after the 202.
+        """
         with self._cond:
             if self._closed:
                 raise RuntimeError("job store is shut down")
             job_id = f"run-{next(self._ids):06d}"
-            job = Job(id=job_id, request=request)
+            job = Job(
+                id=job_id,
+                request=request,
+                summary=dict(request.summary),
+                cells=len(request.trace.tenants()),
+            )
             self._jobs[job_id] = job
             self._append(job, "queued", {"run_id": job_id,
                                          "request": request.summary})
             self._evict()
+        if self._journal is not None:
+            self._journal.record_submit(
+                job_id, request.payload, request.summary, job.cells
+            )
         self._queue.put(job_id)
         return job_id
 
@@ -138,12 +300,14 @@ class JobStore:
             view: dict = {
                 "id": job.id,
                 "status": job.status,
-                "request": dict(job.request.summary),
+                "request": dict(job.summary),
                 "cells_done": sum(
                     1 for event in job.events if event["event"] == "cell"
                 ),
-                "cells": len(job.request.trace.tenants()),
+                "cells": job.cells,
             }
+            if job.recovered:
+                view["recovered"] = True
             if job.error is not None:
                 view["error"] = job.error
             # The report sub-object is the engine's to_dict verbatim —
@@ -203,6 +367,23 @@ class JobStore:
         job.events.append(event_envelope(kind, body, seq=len(job.events)))
         self._cond.notify_all()
 
+    @staticmethod
+    def _cell_event_body(job_id: str, cell: CellResult) -> dict:
+        completed = failed = 0
+        for record in cell.records:
+            if record.completed:
+                completed += 1
+            elif record.failed:
+                failed += 1
+        return {
+            "run_id": job_id,
+            "cell": cell.key,
+            "offered": cell.offered,
+            "completed": completed,
+            "failed": failed,
+            "wall_s": round(cell.wall_s, 6),
+        }
+
     # -- execution ------------------------------------------------------------
 
     def _drain(self) -> None:
@@ -215,28 +396,28 @@ class JobStore:
     def _execute(self, job: Job) -> None:
         request = job.request
         with self._cond:
+            if job.status != "queued":
+                # close() interrupted the job before a worker got it.
+                return
             job.status = "running"
             self._append(job, "running", {"run_id": job.id})
 
         def on_cell(cell: CellResult) -> None:
-            completed = failed = 0
-            for record in cell.records:
-                if record.completed:
-                    completed += 1
-                elif record.failed:
-                    failed += 1
+            # Durability before visibility: the residue is fsync'd to
+            # the journal, then the progress event wakes subscribers.
+            # The hook fires only for newly executed cells — journal-
+            # recovered ones folded without re-running and are already
+            # journaled.  (The fsync runs outside the store lock.)
+            if self._journal is not None:
+                self._journal.record_cell(
+                    job.id,
+                    cell.key,
+                    request.spec.cell_identity(cell.key),
+                    cell.to_payload(),
+                )
             with self._cond:
                 self._append(
-                    job,
-                    "cell",
-                    {
-                        "run_id": job.id,
-                        "cell": cell.key,
-                        "offered": cell.offered,
-                        "completed": completed,
-                        "failed": failed,
-                        "wall_s": round(cell.wall_s, 6),
-                    },
+                    job, "cell", self._cell_event_body(job.id, cell)
                 )
 
         try:
@@ -251,31 +432,57 @@ class JobStore:
                 workers=request.workers,
                 stream=request.stream,
                 on_cell=on_cell,
+                completed_cells=job.preloaded or None,
             )
             report = result.to_dict()
+            if self._journal is not None:
+                self._journal.record_done(job.id, report)
             with self._cond:
                 job.report = report
                 job.status = "done"
+                job.preloaded = None
                 self._append(
                     job, "report", {"run_id": job.id, "report": report}
                 )
                 self._evict()
         except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+            error = f"{type(exc).__name__}: {exc}"
+            if self._journal is not None:
+                self._journal.record_failed(job.id, error)
             with self._cond:
                 job.status = "failed"
-                job.error = f"{type(exc).__name__}: {exc}"
+                job.error = error
+                job.preloaded = None
                 self._append(
                     job, "error", {"run_id": job.id, "message": job.error}
                 )
                 self._evict()
 
     def close(self, timeout_s: float = 10.0) -> None:
-        """Stop accepting jobs and join the worker threads."""
+        """Stop accepting jobs, interrupt the queued ones, join workers.
+
+        A job still ``queued`` at shutdown is marked ``interrupted`` —
+        in memory (so ``GET /v1/runs/<id>`` says so instead of leaving
+        it ``queued`` forever) and in the journal (so the next boot on
+        the same journal resumes it).  Running jobs get ``timeout_s``
+        to finish.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
+            interrupted = [
+                job for job in self._jobs.values() if job.status == "queued"
+            ]
+            for job in interrupted:
+                job.status = "interrupted"
+                self._append(job, "interrupted", {"run_id": job.id})
+        if self._journal is not None:
+            for job in interrupted:
+                self._journal.record_interrupted(job.id)
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout_s)
+        if self._journal is not None:
+            self._journal.close()

@@ -78,6 +78,10 @@ class RunRequest:
     stream: bool = True
     #: The echo of the submitted parameters (listings and audits).
     summary: dict = field(default_factory=dict)
+    #: The original request body, verbatim — what the durable run
+    #: journal persists so a recovering server can re-validate the run
+    #: through this very parser and resume it.
+    payload: Optional[dict] = None
 
 
 def _type_error(key: str, expected: str, value) -> BadRequest:
@@ -292,5 +296,6 @@ def parse_run_request(
         "tenant_config": config is not None,
     }
     return RunRequest(
-        trace=trace, spec=spec, workers=workers, stream=stream, summary=summary
+        trace=trace, spec=spec, workers=workers, stream=stream,
+        summary=summary, payload=payload,
     )

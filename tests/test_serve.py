@@ -111,7 +111,9 @@ def test_healthz(server):
     status, payload = _get(server, "/healthz")
     assert status == 200
     assert payload["status"] == "ok"
-    assert set(payload["jobs"]) == {"queued", "running", "done", "failed"}
+    assert set(payload["jobs"]) == {
+        "queued", "running", "done", "failed", "interrupted"
+    }
     assert payload["workers"] == 2
 
 
