@@ -551,6 +551,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             default_tenant_config=default_config,
             journal=args.journal,
+            dashboard=not args.no_dashboard,
         )
     except OSError as exc:
         raise CliError(
@@ -569,10 +570,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
     durability = f"journal: {args.journal}" if args.journal else "no journal"
+    dash = "dashboard off" if args.no_dashboard else \
+        f"dashboard: {server.url}/dashboard"
     # flush: orchestrators and test harnesses parse this line from a
     # pipe to learn the ephemeral port before the first request.
     print(f"repro serve listening on {server.url} "
-          f"({args.workers} job worker(s); {durability}; "
+          f"({args.workers} job worker(s); {durability}; {dash}; "
           f"see docs/serve.md)", flush=True)
     try:
         server.serve_forever()
@@ -761,6 +764,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "runs survive restarts and resume from completed "
                        "cells; restarting on the same path recovers all "
                        "journaled runs (see docs/serve.md)")
+    serve.add_argument("--no-dashboard", action="store_true",
+                       help="disable GET /dashboard (the live telemetry "
+                       "page); the API and GET /metrics stay up "
+                       "(see docs/observability.md)")
     serve.set_defaults(func=cmd_serve)
 
     return parser

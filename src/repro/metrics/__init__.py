@@ -3,10 +3,24 @@
 from .latency import LatencySummary, RequestRecord, TaskRecord
 from .report import format_cell, render_table
 from .stats import cdf_at, cdf_points, mean, p50, p99, percentile, stddev
+from .telemetry import (
+    MetricsRegistry,
+    SCHEMA_VERSION,
+    SchemaError,
+    event_kinds,
+    metric_names,
+    validate_event,
+)
 from .usage import UsageSummary, collect_usage
 
 __all__ = [
     "LatencySummary",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "event_kinds",
+    "metric_names",
+    "validate_event",
     "RequestRecord",
     "TaskRecord",
     "UsageSummary",

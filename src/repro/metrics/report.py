@@ -106,29 +106,13 @@ def tag_tenant_profiles(payload: dict, profiles: dict) -> dict:
     return payload
 
 
-#: Version stamp every event envelope carries, so NDJSON consumers can
-#: detect schema changes without sniffing field sets.
-EVENT_SCHEMA_VERSION = 1
-
-
-def event_envelope(kind: str, body: dict, seq: Optional[int] = None) -> dict:
-    """A stable JSON event envelope for streamed progress records.
-
-    The envelope fixes the leading keys — ``event`` (the kind), ``v``
-    (:data:`EVENT_SCHEMA_VERSION`), and ``seq`` when given — and sorts
-    the body's keys, so the serialized line for a given event is
-    byte-stable across producers and Python versions.  The HTTP
-    service's NDJSON stream (``GET /v1/runs/<id>/events``) emits one
-    envelope per line via :func:`render_event`.
-    """
-    envelope: dict = {"event": kind, "v": EVENT_SCHEMA_VERSION}
-    if seq is not None:
-        envelope["seq"] = seq
-    for key in sorted(body):
-        if key in envelope:
-            raise ValueError(f"event body may not override envelope key {key!r}")
-        envelope[key] = body[key]
-    return envelope
+# The envelope and its schema live in :mod:`repro.metrics.telemetry`
+# (the versioned telemetry layer); re-exported here because rendering
+# and the envelope grew up together and callers import both from one
+# place.  ``EVENT_SCHEMA_VERSION`` is the historical alias of
+# :data:`~repro.metrics.telemetry.SCHEMA_VERSION`.
+from .telemetry import SCHEMA_VERSION as EVENT_SCHEMA_VERSION  # noqa: E402
+from .telemetry import event_envelope  # noqa: E402, F401
 
 
 def render_event(envelope: dict) -> str:

@@ -53,6 +53,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..loadgen.trace import InvocationTrace, TraceRunResult, run_trace
 from ..metrics.latency import LatencySummary, RequestRecord
+from ..metrics.telemetry import MetricsRegistry
 from ..metrics.usage import UsageSummary
 from .policy import ShardPolicy, get_shard_policy, stable_hash
 from .spec import ReplaySpec
@@ -217,6 +218,11 @@ class ParallelReplayResult(TraceRunResult):
     #: memory lives (a high-water mark including everything the host
     #: process did before the replay; 0.0 when unmeasurable).
     rss_mb: float = 0.0
+    #: Wall-clock per engine phase: ``prepare`` (validation, checkpoint
+    #: folding, cell partition), ``execute`` (the replay itself),
+    #: ``finalize`` (the canonical merge).  Scheduling facts — kept out
+    #: of the deterministic report, surfaced via telemetry gauges.
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
     cell_wall_s: Dict[str, float] = field(default_factory=dict)
     #: Per-cell latency summaries folded via :meth:`LatencySummary.fold`
     #: in sorted-cell-key order (``None`` when nothing completed).
@@ -482,12 +488,38 @@ def _validate(trace: InvocationTrace, spec: ReplaySpec, policy: ShardPolicy) -> 
         )
 
 
+def observe_cell_metrics(
+    metrics: MetricsRegistry, cell: CellResult, resumed: bool = False
+) -> None:
+    """Fold one cell's facts into the registry.
+
+    Counts the cell (``resumed`` distinguishes journal-restored residues
+    from freshly executed replays), bumps the per-tenant request
+    counter, and observes each completed request's end-to-end latency
+    into the tenant's histogram — the same samples the merged report's
+    per-tenant summaries are built from, so scraped quantiles and
+    reported quantiles agree over identical windows.
+    """
+    metrics.counter(
+        "repro_cells_resumed_total" if resumed
+        else "repro_cells_completed_total"
+    ).inc()
+    for record in cell.records:
+        tenant = cell.tenant_of.get(record.request_id, cell.key)
+        metrics.counter("repro_tenant_requests_total", tenant=tenant).inc()
+        if record.completed:
+            metrics.histogram(
+                "repro_tenant_request_latency_seconds", tenant=tenant
+            ).observe(record.latency)
+
+
 def _stream_cells(
     cells: List[Cell],
     spec: ReplaySpec,
     workers: int,
     fold: Callable[[CellResult], None],
     policy: ShardPolicy,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     """Work-stealing fan-out: one task per cell, folded as completed.
 
@@ -515,8 +547,13 @@ def _stream_cells(
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 # Refill the window before folding so the pool stays fed.
+                # Every refill is a steal: a worker that finished early
+                # claimed a cell beyond the initial LPT window instead
+                # of idling behind a skewed tenant.
                 for key, cell_trace in islice(queue, 1):
                     pending.add(pool.submit(replay_cell, spec, key, cell_trace))
+                    if metrics is not None:
+                        metrics.counter("repro_cells_stolen_total").inc()
                 fold(future.result())
 
 
@@ -529,6 +566,7 @@ def run_parallel_replay(
     stream: bool = True,
     on_cell: Optional[Callable[[CellResult], None]] = None,
     completed_cells: Optional[Iterable[CellResult]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ParallelReplayResult:
     """Replay a trace across worker processes and merge the results.
 
@@ -562,7 +600,16 @@ def run_parallel_replay(
     cells, never for pre-folded ones.  A completed cell whose key is
     not a cell of this trace/policy raises ``ValueError`` (the
     checkpoint belongs to a different run).
+
+    ``metrics`` is an optional
+    :class:`~repro.metrics.telemetry.MetricsRegistry` the run
+    populates as it goes: cells completed/resumed/stolen, per-tenant
+    request counts and latency histograms, and per-phase wall-clock
+    (also recorded on the result's :attr:`~ParallelReplayResult.\
+phase_wall_s`).  Telemetry never feeds back into the replay, so the
+    merged report stays byte-identical with or without a registry.
     """
+    t_prepare = time.perf_counter()
     if isinstance(policy, str):
         policy = get_shard_policy(policy)
     _validate(trace, spec, policy)
@@ -578,6 +625,8 @@ def run_parallel_replay(
         for cell in completed_cells:
             merge.add(cell)  # a duplicate key raises here
             skip.add(cell.key)
+            if metrics is not None:
+                observe_cell_metrics(metrics, cell, resumed=True)
         if skip:
             known = {key for key, _ in policy.split(trace)}
             unknown = sorted(skip - known)
@@ -589,10 +638,13 @@ def run_parallel_replay(
 
     def fold(cell: CellResult) -> None:
         merge.add(cell)
+        if metrics is not None:
+            observe_cell_metrics(metrics, cell)
         if on_cell is not None:
             on_cell(cell)
 
     start = time.perf_counter()
+    prepare_s = start - t_prepare
     if stream:
         cells = [
             cell for cell in policy.split(trace) if cell[0] not in skip
@@ -601,7 +653,7 @@ def run_parallel_replay(
             for key, cell_trace in cells:
                 fold(replay_cell(spec, key, cell_trace))
         else:
-            _stream_cells(cells, spec, workers, fold, policy)
+            _stream_cells(cells, spec, workers, fold, policy, metrics=metrics)
     else:
         batches = [
             [cell for cell in batch if cell[0] not in skip]
@@ -624,11 +676,23 @@ def run_parallel_replay(
                     for cell in shard.cells:
                         fold(cell)
     wall_s = time.perf_counter() - start
+    t_finalize = time.perf_counter()
     merged = merge.finalize()
+    finalize_s = time.perf_counter() - t_finalize
     merged.policy_name = policy.name
     merged.shards = shards
     merged.workers = workers
     merged.streamed = stream
     merged.wall_s = wall_s
+    merged.phase_wall_s = {
+        "prepare": prepare_s,
+        "execute": wall_s,
+        "finalize": finalize_s,
+    }
+    if metrics is not None:
+        for phase, seconds in merged.phase_wall_s.items():
+            metrics.histogram("repro_run_phase_seconds", phase=phase).observe(
+                seconds
+            )
     merged.rss_mb = max_rss_mb()
     return merged

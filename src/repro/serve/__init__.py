@@ -14,6 +14,7 @@ Stdlib only (:mod:`http.server`); the REST surface is specified in
 """
 
 from .app import ROUTES, ReproServer, create_server
+from .client import ServeClient, ServeError
 from .jobs import Job, JobStore, UnknownJob
 from .journal import JournalRun, JournalState, RunJournal, load_journal
 from .validation import BadRequest, RunRequest, parse_run_request
@@ -28,6 +29,8 @@ __all__ = [
     "ReproServer",
     "RunJournal",
     "RunRequest",
+    "ServeClient",
+    "ServeError",
     "UnknownJob",
     "create_server",
     "load_journal",

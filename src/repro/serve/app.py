@@ -9,6 +9,8 @@ deliberately small and fully documented in ``docs/serve.md``:
 method   path                   purpose
 =======  =====================  ==========================================
 GET      /healthz               liveness + job-state counters
+GET      /metrics               Prometheus text exposition of the registry
+GET      /dashboard             live telemetry dashboard (static HTML)
 GET      /v1/apps               the app registry (``repro apps``)
 GET      /v1/systems            the system registry (``repro systems``)
 GET      /v1/policies           placement + shard policy registries
@@ -49,6 +51,8 @@ __all__ = ["ROUTES", "ReproServer", "create_server"]
 #: section in ``docs/serve.md`` — the docs are part of the API.
 ROUTES = [
     ("GET", "/healthz", "liveness and job-state counters"),
+    ("GET", "/metrics", "Prometheus text exposition of the metrics registry"),
+    ("GET", "/dashboard", "live telemetry dashboard (single static page)"),
     ("GET", "/v1/apps", "registered applications"),
     ("GET", "/v1/systems", "execution systems"),
     ("GET", "/v1/policies", "placement and shard policies"),
@@ -90,6 +94,25 @@ def _registry_payloads() -> Tuple[list, list, dict]:
                 "functions": len(workflow.functions),
                 "default_input_bytes": spec.default_input_bytes,
                 "default_fanout": spec.default_fanout,
+                # The declared DAG, topologically ordered — the
+                # dashboard's workflow view renders straight from this.
+                "workflow": {
+                    "entry": workflow.entry,
+                    "functions": [
+                        {
+                            "name": name,
+                            "edges": [
+                                {
+                                    "data": edge.dataname,
+                                    "kind": edge.kind.name,
+                                    "to": list(edge.destinations),
+                                }
+                                for edge in workflow.functions[name].edges
+                            ],
+                        }
+                        for name in workflow.topological_order()
+                    ],
+                },
             }
         )
     systems = [
@@ -154,6 +177,33 @@ class _Handler(BaseHTTPRequestHandler):
                     "/v1/policies": {"policies": policies},
                 }[path]
                 return self._send_json(200, payload)
+            if path == "/metrics":
+                store = self.server.store
+                store.refresh_gauges()
+                body = store.metrics.render_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return None
+            if path == "/dashboard":
+                if not self.server.dashboard:
+                    return self._send_error_json(
+                        404, "dashboard disabled (--no-dashboard)"
+                    )
+                from .dashboard import dashboard_html
+
+                body = dashboard_html().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return None
             if path == "/v1/runs":
                 return self._send_json(200, {"runs": self.server.store.list()})
             match = _EVENTS_PATH.match(path)
@@ -176,10 +226,13 @@ class _Handler(BaseHTTPRequestHandler):
         The full history replays first (a late subscriber misses
         nothing), then lines follow live until the job is terminal.
         The response carries no Content-Length — end-of-stream is the
-        connection closing.
+        connection closing.  While the run is quiet, a ``: keepalive``
+        comment line goes out every ``keepalive_s`` so followers can
+        distinguish an idle run from a dead connection (NDJSON
+        consumers skip lines starting with ``:``).
         """
         store = self.server.store
-        follower = store.follow(job_id)
+        follower = store.follow(job_id, keepalive_s=self.server.keepalive_s)
         try:
             first = next(follower)
         except StopIteration:  # pragma: no cover - jobs always log 'queued'
@@ -189,8 +242,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         if first is not None:
             self.wfile.write((render_event(first) + "\n").encode("utf-8"))
+            self.wfile.flush()
         for envelope in follower:
-            self.wfile.write((render_event(envelope) + "\n").encode("utf-8"))
+            if envelope is None:
+                self.wfile.write(b": keepalive\n")
+            else:
+                self.wfile.write(
+                    (render_event(envelope) + "\n").encode("utf-8")
+                )
             self.wfile.flush()
 
     # -- POST -----------------------------------------------------------------
@@ -254,11 +313,15 @@ class ReproServer(ThreadingHTTPServer):
         store: JobStore,
         default_tenant_config: Optional[TenantConfig] = None,
         quiet: bool = False,
+        dashboard: bool = True,
+        keepalive_s: Optional[float] = 15.0,
     ) -> None:
         super().__init__(address, _Handler)
         self.store = store
         self.default_tenant_config = default_tenant_config
         self.quiet = quiet
+        self.dashboard = dashboard
+        self.keepalive_s = keepalive_s
 
     @property
     def url(self) -> str:
@@ -280,6 +343,8 @@ def create_server(
     quiet: bool = False,
     max_finished: int = 256,
     journal: Optional[str] = None,
+    dashboard: bool = True,
+    keepalive_s: Optional[float] = 15.0,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -295,6 +360,12 @@ def create_server(
     cells — and every subsequent submission, cell completion, and
     terminal status is fsync'd to it (``docs/serve.md``, "Durability &
     recovery").
+
+    ``dashboard=False`` turns ``GET /dashboard`` into a 404
+    (``--no-dashboard`` on the CLI) for deployments that want the API
+    surface only.  ``keepalive_s`` is the idle interval between
+    ``: keepalive`` comment lines on event streams (``None`` disables
+    them).
     """
     return ReproServer(
         (host, port),
@@ -306,4 +377,6 @@ def create_server(
         ),
         default_tenant_config=default_tenant_config,
         quiet=quiet,
+        dashboard=dashboard,
+        keepalive_s=keepalive_s,
     )

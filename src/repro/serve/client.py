@@ -1,0 +1,175 @@
+"""Stdlib streaming client for the ``repro serve`` REST API.
+
+The programmatic twin of the dashboard: submit a run, iterate its
+NDJSON event stream as schema-validated envelopes, fetch the final
+report — three calls, no dependencies beyond :mod:`urllib`.
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8080")
+    run_id = client.submit({"app": "wc", "seed": 7, "tenants": 4})
+    for event in client.events(run_id):
+        print(event["event"], event.get("cell", ""))
+    report = client.report(run_id)
+
+:meth:`ServeClient.events` validates every line against the versioned
+telemetry schema (:mod:`repro.metrics.telemetry`) and checks that
+``seq`` is strictly increasing — a service that emitted an unknown
+kind, the wrong schema version, or a seq regression (e.g. a broken
+journal resume) raises :class:`~repro.metrics.telemetry.SchemaError`
+instead of silently feeding consumers drifted data.  Keepalive comment
+lines (``: keepalive``) are consumed and dropped, per the NDJSON/SSE
+comment convention.
+
+The CI observability smoke test drives a live server end-to-end through
+this client; ``docs/observability.md`` documents it for external
+consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+from ..metrics.telemetry import SchemaError, validate_event
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service (carries status + body)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """A thin, dependency-free client for one ``repro serve`` endpoint.
+
+    ``base_url`` is the server root (``http://host:port``); every call
+    opens its own connection, so one client is safe to share across
+    threads.  ``timeout_s`` applies per socket operation — on the event
+    stream that means "maximum silence between lines", which the
+    server's keepalive comments keep comfortably short for idle runs.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(
+        self, path: str, body: Optional[dict] = None
+    ) -> "urllib.request.http.client.HTTPResponse":
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method="GET" if data is None else "POST",
+            headers={} if data is None else {
+                "Content-Type": "application/json"
+            },
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServeError(error.code, message) from None
+
+    def _json(self, path: str, body: Optional[dict] = None) -> dict:
+        with self._request(path, body) as response:
+            return json.loads(response.read())
+
+    # -- the API surface ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: liveness plus job-state counters."""
+        return self._json("/healthz")
+
+    def apps(self) -> list:
+        """``GET /v1/apps``: the app registry, workflow DAGs included."""
+        return self._json("/v1/apps")["apps"]
+
+    def runs(self) -> list:
+        """``GET /v1/runs``: submission-ordered run listing."""
+        return self._json("/v1/runs")["runs"]
+
+    def submit(self, body: dict) -> str:
+        """``POST /v1/runs``: submit a run body; returns the run id."""
+        return self._json("/v1/runs", body)["id"]
+
+    def status(self, run_id: str) -> dict:
+        """``GET /v1/runs/<id>``: the job snapshot (status, report, ...)."""
+        return self._json(f"/v1/runs/{run_id}")
+
+    def report(self, run_id: str) -> dict:
+        """The final merged report; raises if the run is not ``done``."""
+        snapshot = self.status(run_id)
+        if snapshot["status"] != "done":
+            raise ServeError(
+                409,
+                f"run {run_id} is {snapshot['status']}, not done"
+                + (f": {snapshot['error']}" if snapshot.get("error") else ""),
+            )
+        return snapshot["report"]
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition, verbatim."""
+        with self._request("/metrics") as response:
+            return response.read().decode("utf-8")
+
+    def events(
+        self, run_id: str, validate: bool = True
+    ) -> Iterator[dict]:
+        """``GET /v1/runs/<id>/events``: yield envelopes to terminality.
+
+        Streams one validated dict per NDJSON line — full history
+        first, then live — and returns when the server closes the
+        stream (the run reached a terminal state).  Keepalive comment
+        lines are skipped.  With ``validate=True`` (default) each
+        envelope must pass :func:`~repro.metrics.telemetry.\
+validate_event` and carry a ``seq`` strictly greater than the previous
+        line's; violations raise :class:`SchemaError`.
+        """
+        last_seq = -1
+        with self._request(f"/v1/runs/{run_id}/events") as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if not line or line.startswith(":"):
+                    continue  # keepalive / comment line
+                try:
+                    envelope = json.loads(line)
+                except ValueError as exc:
+                    raise SchemaError(
+                        f"event stream line is not JSON: {line!r} ({exc})"
+                    ) from None
+                if validate:
+                    validate_event(envelope)
+                    if envelope["seq"] <= last_seq:
+                        raise SchemaError(
+                            f"event seq went backwards: {envelope['seq']} "
+                            f"after {last_seq} (kind {envelope['event']!r})"
+                        )
+                    last_seq = envelope["seq"]
+                yield envelope
+
+    def run(self, body: dict) -> dict:
+        """Submit, drain the event stream, return the final report.
+
+        The convenience one-liner: schema-validates every event on the
+        way through, then fetches the terminal snapshot — raising
+        :class:`ServeError` if the run failed rather than returning a
+        partial result.
+        """
+        run_id = self.submit(body)
+        for _ in self.events(run_id):
+            pass
+        return self.report(run_id)

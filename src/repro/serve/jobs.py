@@ -38,10 +38,12 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..metrics.report import event_envelope
+from ..metrics.telemetry import MetricsRegistry, validate_event
 from ..parallel.engine import CellResult, run_parallel_replay
 from ..parallel.policy import get_shard_policy
 from ..parallel.profiles import TenantConfig
@@ -88,6 +90,11 @@ class Job:
     #: Journal-recovered cell results awaiting the resume execution
     #: (dropped once the run reaches a terminal state).
     preloaded: Optional[List[CellResult]] = None
+    #: The next event ``seq`` to assign — monotonic for the lifetime of
+    #: the run *including across journal resume* (recovery seeds it
+    #: past the highest journaled seq, so post-restart events never
+    #: reuse a number a pre-crash follower already saw).
+    next_seq: int = 0
 
 
 class JobStore:
@@ -113,6 +120,7 @@ class JobStore:
         max_finished: int = 256,
         journal: Optional[RunJournal] = None,
         default_tenant_config: Optional[TenantConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -126,7 +134,15 @@ class JobStore:
         self._closed = False
         self._journal = journal
         self._default_tenant_config = default_tenant_config
+        #: The process-wide registry every run populates (engine cell /
+        #: tenant / phase instruments, journal fsyncs, pool gauges) and
+        #: ``GET /metrics`` renders.  Counts cover this process's
+        #: lifetime: journal-restored terminal runs were counted by the
+        #: process that executed them, so restores don't re-count.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.gauge("repro_job_workers").set(workers)
         if journal is not None:
+            journal.metrics = self.metrics
             # The worker threads don't exist yet, so recovery cannot
             # race — the lock is held only because _append notifies
             # the condition it guards.
@@ -169,6 +185,10 @@ class JobStore:
                 summary=dict(run.summary),
                 cells=run.cells_total,
                 recovered=True,
+                # Resume numbering past every journaled seq: a follower
+                # that saw seq N before the crash never sees a
+                # *different* event reuse a number <= N after it.
+                next_seq=run.last_seq + 1,
             )
             self._jobs[run.run_id] = job
             self._append(
@@ -208,11 +228,12 @@ class JobStore:
                     f"recovery: journaled request no longer valid: "
                     f"{type(exc).__name__}: {exc}"
                 )
-                self._append(
+                seq = self._append(
                     job, "error", {"run_id": job.id, "message": job.error}
                 )
                 if self._journal is not None:
-                    self._journal.record_failed(job.id, job.error)
+                    self._journal.record_failed(job.id, job.error, seq=seq)
+                self.metrics.counter("repro_runs_total", status="failed").inc()
                 continue
             job.request = request
             job.summary = dict(request.summary)
@@ -236,9 +257,15 @@ class JobStore:
                 job, "recovered",
                 {"run_id": job.id, "cells_journaled": len(preloaded)},
             )
+            totals = {"cells_done": 0, "offered": 0,
+                      "completed": 0, "failed": 0}
             for cell in preloaded:
+                body = self._cell_event_body(job.id, cell, resumed=True)
+                self._accumulate(totals, body)
+                self._append(job, "cell", body)
+            if preloaded:
                 self._append(
-                    job, "cell", self._cell_event_body(job.id, cell)
+                    job, "progress", self._progress_body(job, totals)
                 )
             resume.append(job.id)
         return resume
@@ -263,12 +290,12 @@ class JobStore:
                 cells=len(request.trace.tenants()),
             )
             self._jobs[job_id] = job
-            self._append(job, "queued", {"run_id": job_id,
-                                         "request": request.summary})
+            seq = self._append(job, "queued", {"run_id": job_id,
+                                               "request": request.summary})
             self._evict()
         if self._journal is not None:
             self._journal.record_submit(
-                job_id, request.payload, request.summary, job.cells
+                job_id, request.payload, request.summary, job.cells, seq=seq
             )
         self._queue.put(job_id)
         return job_id
@@ -335,11 +362,26 @@ class JobStore:
                 counts[job.status] += 1
             return counts
 
+    def refresh_gauges(self) -> Dict[str, int]:
+        """Recompute the pool-occupancy gauges from live job states.
+
+        Called by the ``/metrics`` handler at scrape time — deriving
+        the gauges from :meth:`counts` on read means no transition
+        bookkeeping can drift.  Returns the counts for convenience.
+        """
+        counts = self.counts()
+        self.metrics.gauge("repro_jobs_inflight").set(counts["running"])
+        self.metrics.gauge("repro_jobs_queued").set(counts["queued"])
+        return counts
+
     # -- event streaming ------------------------------------------------------
 
     def follow(
-        self, job_id: str, poll_s: float = 0.25
-    ) -> Iterator[dict]:
+        self,
+        job_id: str,
+        poll_s: float = 0.25,
+        keepalive_s: Optional[float] = None,
+    ) -> Iterator[Optional[dict]]:
         """Yield a job's event envelopes: full history, then live.
 
         Terminates once the job is terminal and every event has been
@@ -347,35 +389,100 @@ class JobStore:
         disconnected client is noticed promptly by the caller's write
         failing on the next yielded event.  The job resolves once, up
         front: eviction mid-stream cannot break an attached follower.
+
+        ``keepalive_s`` (optional) yields ``None`` whenever that many
+        seconds pass with no new event — the HTTP layer writes each
+        ``None`` as a ``: keepalive`` comment line, so a follower of a
+        quiet run can distinguish "alive but idle" from a dead
+        connection and time out cleanly.
         """
         with self._cond:
             job = self._get(job_id)
         index = 0
+        last = time.monotonic()
         while True:
             with self._cond:
                 while len(job.events) <= index and job.status not in _TERMINAL:
                     self._cond.wait(poll_s)
+                    if (
+                        keepalive_s is not None
+                        and time.monotonic() - last >= keepalive_s
+                    ):
+                        break
                 batch = job.events[index:]
                 index += len(batch)
                 finished = job.status in _TERMINAL and index >= len(job.events)
-            yield from batch
+            if batch:
+                yield from batch
+                last = time.monotonic()
+            elif not finished:
+                yield None  # keepalive tick: no event for keepalive_s
+                last = time.monotonic()
             if finished:
                 return
 
-    def _append(self, job: Job, kind: str, body: dict) -> None:
-        """Append one envelope and wake subscribers (lock held)."""
-        job.events.append(event_envelope(kind, body, seq=len(job.events)))
+    def _append(
+        self, job: Job, kind: str, body: dict, seq: Optional[int] = None
+    ) -> int:
+        """Append one envelope and wake subscribers (lock held).
+
+        ``seq`` defaults to the job's next number; passing one of a
+        :meth:`_reserve`-d block appends at that reserved number.
+        Every envelope is validated against the telemetry schema on the
+        way in — the store structurally cannot emit an invalid event.
+        Returns the assigned seq.
+        """
+        if seq is None:
+            seq = job.next_seq
+        job.next_seq = max(job.next_seq, seq + 1)
+        job.events.append(
+            validate_event(event_envelope(kind, body, seq=seq))
+        )
         self._cond.notify_all()
+        return seq
 
     @staticmethod
-    def _cell_event_body(job_id: str, cell: CellResult) -> dict:
+    def _reserve(job: Job, count: int) -> int:
+        """Claim ``count`` consecutive seqs (lock held); returns the first.
+
+        Seqs are reserved *before* the journal fsync that records them,
+        so a concurrent append (e.g. the shutdown sweep) can never be
+        assigned a number the journal is about to claim — the journaled
+        "last emitted seq" is correct even under that race.
+        """
+        first = job.next_seq
+        job.next_seq += count
+        return first
+
+    @staticmethod
+    def _accumulate(totals: Dict[str, int], cell_body: dict) -> None:
+        """Fold one cell event body into a run's running totals."""
+        totals["cells_done"] += 1
+        for key in ("offered", "completed", "failed"):
+            totals[key] += cell_body[key]
+
+    @staticmethod
+    def _progress_body(job: Job, totals: Dict[str, int]) -> dict:
+        return {
+            "run_id": job.id,
+            "cells_done": totals["cells_done"],
+            "cells_total": job.cells,
+            "offered": totals["offered"],
+            "completed": totals["completed"],
+            "failed": totals["failed"],
+        }
+
+    @staticmethod
+    def _cell_event_body(
+        job_id: str, cell: CellResult, resumed: bool = False
+    ) -> dict:
         completed = failed = 0
         for record in cell.records:
             if record.completed:
                 completed += 1
             elif record.failed:
                 failed += 1
-        return {
+        body = {
             "run_id": job_id,
             "cell": cell.key,
             "offered": cell.offered,
@@ -383,6 +490,15 @@ class JobStore:
             "failed": failed,
             "wall_s": round(cell.wall_s, 6),
         }
+        if resumed:
+            body["resumed"] = True
+        if cell.latency is not None:
+            body["latency"] = {
+                "mean_s": round(cell.latency.mean_s, 6),
+                "p50_s": round(cell.latency.p50_s, 6),
+                "p99_s": round(cell.latency.p99_s, 6),
+            }
+        return body
 
     # -- execution ------------------------------------------------------------
 
@@ -402,23 +518,40 @@ class JobStore:
             job.status = "running"
             self._append(job, "running", {"run_id": job.id})
 
+        # Running totals for the progress / terminal-counter events;
+        # journal-recovered cells already emitted their cell events in
+        # _recover, so the resume starts from their sums.  on_cell runs
+        # only on this worker thread, so the dict needs no lock.
+        totals = {"cells_done": 0, "offered": 0, "completed": 0, "failed": 0}
+        for cell in job.preloaded or ():
+            self._accumulate(totals, self._cell_event_body(job.id, cell))
+
         def on_cell(cell: CellResult) -> None:
             # Durability before visibility: the residue is fsync'd to
-            # the journal, then the progress event wakes subscribers.
+            # the journal, then the progress events wake subscribers.
             # The hook fires only for newly executed cells — journal-
             # recovered ones folded without re-running and are already
             # journaled.  (The fsync runs outside the store lock.)
+            # Seqs for the cell + progress pair are reserved first so
+            # the journaled "last emitted seq" is exact even if another
+            # event lands between the fsync and the append.
+            body = self._cell_event_body(job.id, cell)
+            with self._cond:
+                first = self._reserve(job, 2)
             if self._journal is not None:
                 self._journal.record_cell(
                     job.id,
                     cell.key,
                     request.spec.cell_identity(cell.key),
                     cell.to_payload(),
+                    seq=first + 1,
                 )
+            self._accumulate(totals, body)
+            progress = self._progress_body(job, totals)
             with self._cond:
-                self._append(
-                    job, "cell", self._cell_event_body(job.id, cell)
-                )
+                if job.status == "running":
+                    self._append(job, "cell", body, seq=first)
+                    self._append(job, "progress", progress, seq=first + 1)
 
         try:
             # shards=workers keeps the static batched engine
@@ -433,56 +566,122 @@ class JobStore:
                 stream=request.stream,
                 on_cell=on_cell,
                 completed_cells=job.preloaded or None,
+                metrics=self.metrics,
             )
             report = result.to_dict()
-            if self._journal is not None:
-                self._journal.record_done(job.id, report)
+            # The terminal batch: the run's counter totals (matching
+            # the report exactly), its phase-timing gauges, then the
+            # report itself — seqs reserved up front so the journaled
+            # done record names the report event's seq.
+            counters = [
+                ("requests_offered", totals["offered"]),
+                ("requests_completed", totals["completed"]),
+                ("requests_failed", totals["failed"]),
+                ("cells_completed", totals["cells_done"]),
+            ]
+            gauges = [
+                ("phase_seconds", {"phase": phase}, round(seconds, 6))
+                for phase, seconds in sorted(result.phase_wall_s.items())
+            ]
+            batch = len(counters) + len(gauges) + 1
             with self._cond:
+                first = self._reserve(job, batch)
+            if self._journal is not None:
+                self._journal.record_done(
+                    job.id, report, seq=first + batch - 1
+                )
+            with self._cond:
+                if job.status != "running":
+                    return  # the shutdown sweep already closed this run
+                seq = first
+                for name, value in counters:
+                    self._append(
+                        job, "counter",
+                        {"run_id": job.id, "name": name, "value": value},
+                        seq=seq,
+                    )
+                    seq += 1
+                for name, labels, value in gauges:
+                    self._append(
+                        job, "gauge",
+                        {"run_id": job.id, "name": name, "value": value,
+                         "labels": labels},
+                        seq=seq,
+                    )
+                    seq += 1
                 job.report = report
                 job.status = "done"
                 job.preloaded = None
                 self._append(
-                    job, "report", {"run_id": job.id, "report": report}
+                    job, "report", {"run_id": job.id, "report": report},
+                    seq=seq,
                 )
                 self._evict()
+            self.metrics.counter("repro_runs_total", status="done").inc()
         except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
             error = f"{type(exc).__name__}: {exc}"
-            if self._journal is not None:
-                self._journal.record_failed(job.id, error)
             with self._cond:
+                first = self._reserve(job, 1)
+            if self._journal is not None:
+                self._journal.record_failed(job.id, error, seq=first)
+            with self._cond:
+                if job.status != "running":
+                    return  # the shutdown sweep already closed this run
                 job.status = "failed"
                 job.error = error
                 job.preloaded = None
                 self._append(
-                    job, "error", {"run_id": job.id, "message": job.error}
+                    job, "error", {"run_id": job.id, "message": job.error},
+                    seq=first,
                 )
                 self._evict()
+            self.metrics.counter("repro_runs_total", status="failed").inc()
+
+    def _interrupt(self, statuses: tuple) -> None:
+        """Mark every job in ``statuses`` interrupted (event + journal).
+
+        The terminal event is what lets an attached follower finish:
+        without it, a ``GET /v1/runs/<id>/events`` stream on an
+        abandoned run would wait forever.
+        """
+        with self._cond:
+            swept = [
+                job for job in self._jobs.values() if job.status in statuses
+            ]
+            seqs = {}
+            for job in swept:
+                job.status = "interrupted"
+                job.preloaded = None
+                seqs[job.id] = self._append(
+                    job, "interrupted", {"run_id": job.id}
+                )
+        for job in swept:
+            if self._journal is not None:
+                self._journal.record_interrupted(job.id, seq=seqs[job.id])
+            self.metrics.counter(
+                "repro_runs_total", status="interrupted"
+            ).inc()
 
     def close(self, timeout_s: float = 10.0) -> None:
-        """Stop accepting jobs, interrupt the queued ones, join workers.
+        """Stop accepting jobs, interrupt the unfinished ones, join workers.
 
         A job still ``queued`` at shutdown is marked ``interrupted`` —
         in memory (so ``GET /v1/runs/<id>`` says so instead of leaving
         it ``queued`` forever) and in the journal (so the next boot on
         the same journal resumes it).  Running jobs get ``timeout_s``
-        to finish.
+        to finish; one still running after that is swept ``interrupted``
+        too, so every run ends in a terminal event and no follower
+        hangs on a run nobody is executing anymore.
         """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
-            interrupted = [
-                job for job in self._jobs.values() if job.status == "queued"
-            ]
-            for job in interrupted:
-                job.status = "interrupted"
-                self._append(job, "interrupted", {"run_id": job.id})
-        if self._journal is not None:
-            for job in interrupted:
-                self._journal.record_interrupted(job.id)
+        self._interrupt(("queued",))
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout_s)
+        self._interrupt(("queued", "running"))
         if self._journal is not None:
             self._journal.close()

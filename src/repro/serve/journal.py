@@ -68,6 +68,13 @@ class JournalRun:
     status: str = "submitted"
     report: Optional[dict] = None
     error: Optional[str] = None
+    #: Highest event ``seq`` any journaled record carried (-1 if none):
+    #: the submit record journals the ``queued`` event's seq, each cell
+    #: record the seq of the last event in its batch, and terminal
+    #: records the seq of the last event of the run.  A recovering
+    #: store resumes numbering *past* this, so a follower that saw seq
+    #: N before the crash never sees a different event reuse ≤ N.
+    last_seq: int = -1
 
     @property
     def finished(self) -> bool:
@@ -146,12 +153,16 @@ def load_journal(path: str) -> JournalState:
                     f"discarded"
                 )
                 continue
-            state.runs[run_id] = JournalRun(
+            run = JournalRun(
                 run_id=run_id,
                 payload=record.get("payload"),
                 summary=record.get("summary") or {},
                 cells_total=int(record.get("cells") or 0),
             )
+            seq = record.get("seq")
+            if isinstance(seq, int) and not isinstance(seq, bool):
+                run.last_seq = seq
+            state.runs[run_id] = run
             continue
         run = state.runs.get(run_id)
         if run is None:
@@ -160,6 +171,9 @@ def load_journal(path: str) -> JournalState:
                 f"{run_id}; discarded"
             )
             continue
+        seq = record.get("seq")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            run.last_seq = max(run.last_seq, seq)
         if kind == "cell":
             key = record.get("key")
             cell = record.get("cell")
@@ -204,6 +218,10 @@ class RunJournal:
         self.path = str(path)
         self._lock = threading.Lock()
         self._file = None
+        #: Optional :class:`~repro.metrics.telemetry.MetricsRegistry`;
+        #: when set (the JobStore wires its own), every durable append
+        #: bumps ``repro_journal_fsyncs_total``.
+        self.metrics = None
 
     # -- reading --------------------------------------------------------------
 
@@ -229,29 +247,62 @@ class RunJournal:
             self._file.write(line + "\n")
             self._file.flush()
             os.fsync(self._file.fileno())
+        if self.metrics is not None:
+            self.metrics.counter("repro_journal_fsyncs_total").inc()
 
     def record_submit(
-        self, run_id: str, payload: Optional[dict], summary: dict, cells: int
+        self,
+        run_id: str,
+        payload: Optional[dict],
+        summary: dict,
+        cells: int,
+        seq: Optional[int] = None,
     ) -> None:
-        self.append(
-            "submit", run_id, payload=payload, summary=summary, cells=cells
+        body: Dict[str, object] = dict(
+            payload=payload, summary=summary, cells=cells
         )
+        if seq is not None:
+            body["seq"] = seq
+        self.append("submit", run_id, **body)
 
     def record_cell(
-        self, run_id: str, key: str, identity: str, cell_payload: dict
+        self,
+        run_id: str,
+        key: str,
+        identity: str,
+        cell_payload: dict,
+        seq: Optional[int] = None,
     ) -> None:
-        self.append(
-            "cell", run_id, key=key, identity=identity, cell=cell_payload
+        body: Dict[str, object] = dict(
+            key=key, identity=identity, cell=cell_payload
         )
+        if seq is not None:
+            body["seq"] = seq
+        self.append("cell", run_id, **body)
 
-    def record_done(self, run_id: str, report: dict) -> None:
-        self.append("done", run_id, report=report)
+    def record_done(
+        self, run_id: str, report: dict, seq: Optional[int] = None
+    ) -> None:
+        body: Dict[str, object] = dict(report=report)
+        if seq is not None:
+            body["seq"] = seq
+        self.append("done", run_id, **body)
 
-    def record_failed(self, run_id: str, error: str) -> None:
-        self.append("failed", run_id, error=error)
+    def record_failed(
+        self, run_id: str, error: str, seq: Optional[int] = None
+    ) -> None:
+        body: Dict[str, object] = dict(error=error)
+        if seq is not None:
+            body["seq"] = seq
+        self.append("failed", run_id, **body)
 
-    def record_interrupted(self, run_id: str) -> None:
-        self.append("interrupted", run_id)
+    def record_interrupted(
+        self, run_id: str, seq: Optional[int] = None
+    ) -> None:
+        if seq is not None:
+            self.append("interrupted", run_id, seq=seq)
+        else:
+            self.append("interrupted", run_id)
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,129 @@
+"""Tests for time integrals and interval recorders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.cluster.telemetry import IntervalRecorder, TimeIntegral, overlap_seconds
+
+
+def test_integral_of_constant_level():
+    env = Environment()
+    meter = TimeIntegral(env)
+    meter.add(5.0)
+
+    def advance(env):
+        yield env.timeout(10.0)
+
+    env.process(advance(env))
+    env.run()
+    assert meter.integral() == pytest.approx(50.0)
+
+
+def test_integral_piecewise():
+    env = Environment()
+    meter = TimeIntegral(env)
+
+    def scenario(env):
+        meter.add(2.0)          # level 2 on [0, 4)
+        yield env.timeout(4.0)
+        meter.add(3.0)          # level 5 on [4, 6)
+        yield env.timeout(2.0)
+        meter.set(0.0)          # level 0 afterwards
+        yield env.timeout(10.0)
+
+    env.process(scenario(env))
+    env.run()
+    assert meter.integral() == pytest.approx(2 * 4 + 5 * 2)
+    assert meter.peak == pytest.approx(5.0)
+
+
+def test_integral_negative_level_rejected():
+    env = Environment()
+    meter = TimeIntegral(env)
+    meter.add(1.0)
+    with pytest.raises(ValueError):
+        meter.add(-5.0)  # beyond the float-noise clamp
+
+
+def test_integral_clamps_float_noise():
+    env = Environment()
+    meter = TimeIntegral(env)
+    meter.add(1.0)
+    meter.add(-1.0 - 1e-7)  # sub-unit residue is forgiven
+    assert meter.level == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=10.0),  # duration
+            st.floats(min_value=0.0, max_value=100.0),  # next level
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_integral_matches_manual_sum(steps):
+    env = Environment()
+    meter = TimeIntegral(env)
+    expected = 0.0
+    level = 0.0
+
+    def scenario(env):
+        nonlocal expected, level
+        for duration, next_level in steps:
+            meter.set(next_level)
+            level = next_level
+            expected += level * duration
+            yield env.timeout(duration)
+
+    env.process(scenario(env))
+    env.run()
+    assert meter.integral() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_interval_recorder_busy_fraction():
+    env = Environment()
+    rec = IntervalRecorder(env)
+
+    def scenario(env):
+        rec.begin("a", "cpu")
+        yield env.timeout(2.0)
+        rec.end("a")
+        yield env.timeout(2.0)
+        rec.begin("b", "cpu")
+        yield env.timeout(1.0)
+        rec.end("b")
+        yield env.timeout(5.0)
+
+    env.process(scenario(env))
+    env.run()
+    assert rec.busy_fraction("cpu") == pytest.approx(3.0 / 10.0)
+    assert rec.labelled("net") == []
+
+
+def test_interval_recorder_double_begin_rejected():
+    env = Environment()
+    rec = IntervalRecorder(env)
+    rec.begin("k", "cpu")
+    with pytest.raises(ValueError):
+        rec.begin("k", "cpu")
+
+
+def test_overlap_seconds_basic():
+    a = [(0.0, 5.0)]
+    b = [(3.0, 8.0)]
+    assert overlap_seconds(a, b) == pytest.approx(2.0)
+
+
+def test_overlap_seconds_disjoint():
+    assert overlap_seconds([(0, 1)], [(2, 3)]) == 0.0
+
+
+def test_overlap_seconds_merges_unions():
+    a = [(0.0, 2.0), (1.0, 4.0)]   # union [0,4]
+    b = [(3.0, 5.0), (3.5, 6.0)]   # union [3,6]
+    assert overlap_seconds(a, b) == pytest.approx(1.0)

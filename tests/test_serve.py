@@ -20,6 +20,7 @@ import pytest
 
 from repro.cli import main
 from repro.metrics.report import render_json
+from repro.metrics.telemetry import SCHEMA_VERSION, validate_event
 from repro.parallel.profiles import TenantConfig
 from repro.serve import create_server
 
@@ -241,7 +242,9 @@ def test_events_stream_cells_before_report(server):
     assert kinds.index("cell") < kinds.index("report")
     assert kinds.count("cell") == 2
     assert [event["seq"] for event in events] == list(range(len(events)))
-    assert all(event["v"] == 1 for event in events)
+    assert all(event["v"] == SCHEMA_VERSION for event in events)
+    for event in events:
+        validate_event(event)
     cell = events[kinds.index("cell")]
     assert {"cell", "offered", "completed", "failed", "run_id"} <= set(cell)
     report_event = events[kinds.index("report")]
@@ -259,6 +262,122 @@ def test_events_stream_follows_live(server):
     assert kinds[0] == "queued"
     assert kinds[-1] in ("report", "error")
     assert "cell" in kinds
+
+
+# -- telemetry surfaces: /metrics, /dashboard, streaming client ---------------
+
+
+def test_metrics_endpoint_exposes_tenant_and_worker_series(server):
+    _submit_and_wait(server, RUN_BODY)
+    with urllib.request.urlopen(server.url + "/metrics") as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode("utf-8")
+    # Per-tenant latency histograms (as Prometheus summaries) and the
+    # worker-pool gauges — the acceptance criteria for /metrics.
+    assert "# TYPE repro_tenant_request_latency_seconds summary" in text
+    assert 'repro_tenant_request_latency_seconds{tenant="a",quantile="0.5"}' \
+        in text
+    assert 'repro_tenant_requests_total{tenant="a"}' in text
+    assert "repro_job_workers 2" in text
+    assert "repro_jobs_inflight " in text
+    assert "repro_jobs_queued " in text
+    assert 'repro_runs_total{status="done"}' in text
+    assert "repro_cells_completed_total " in text
+    assert "# TYPE repro_run_phase_seconds summary" in text
+
+
+def test_dashboard_page_bakes_in_schema_version(server):
+    with urllib.request.urlopen(server.url + "/dashboard") as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/html")
+        page = response.read().decode("utf-8")
+    assert f"const SCHEMA_VERSION = {SCHEMA_VERSION};" in page
+    assert "__SCHEMA_VERSION__" not in page  # placeholder fully substituted
+    assert "__EVENT_KINDS__" not in page
+    assert "/v1/runs" in page  # tails the events stream via fetch
+
+
+def test_dashboard_opt_out_is_404():
+    srv = create_server(port=0, workers=1, quiet=True, dashboard=False)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, payload = _get(srv, "/dashboard")
+        assert status == 404
+        assert "dashboard" in payload["error"]
+        # The rest of the surface is unaffected by the opt-out.
+        assert _get(srv, "/healthz")[0] == 200
+    finally:
+        srv.close()
+        thread.join(timeout=10)
+
+
+def test_streaming_client_end_to_end(server):
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(server.url)
+    assert client.healthz()["status"] == "ok"
+    assert "wc" in {app["name"] for app in client.apps()}
+    run_id = client.submit(RUN_BODY)
+    events = list(client.events(run_id))  # validates schema + seq order
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "queued"
+    assert kinds[-1] == "report"
+    report = client.report(run_id)
+    counters = {
+        event["name"]: event["value"]
+        for event in events if event["event"] == "counter"
+    }
+    assert counters["requests_offered"] == report["offered"]
+    assert counters["requests_completed"] == report["completed"]
+    assert counters["requests_failed"] == report["failed"]
+    assert run_id in {run["id"] for run in client.runs()}
+    assert "repro_runs_total" in client.metrics_text()
+    assert client.run(RUN_BODY) == report  # submit/stream/report one-liner
+    with pytest.raises(ServeError) as excinfo:
+        client.status("run-999999")
+    assert excinfo.value.status == 404
+
+
+def test_events_keepalive_comment_lines_on_idle_run(monkeypatch):
+    """A follower on a stalled run gets ': keepalive' comment lines
+    instead of unbounded silence, and still sees the terminal event."""
+    import repro.serve.jobs as jobs_module
+
+    real_replay = jobs_module.run_parallel_replay
+    release = threading.Event()
+
+    def slow_replay(*args, **kwargs):
+        release.wait(timeout=30)
+        return real_replay(*args, **kwargs)
+
+    monkeypatch.setattr(jobs_module, "run_parallel_replay", slow_replay)
+    srv = create_server(port=0, workers=1, quiet=True, keepalive_s=0.05)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, submitted = _post(srv, "/v1/runs", RUN_BODY)
+        assert status == 202
+        saw_keepalive = False
+        events = []
+        with urllib.request.urlopen(
+            srv.url + f"/v1/runs/{submitted['id']}/events"
+        ) as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line.startswith(":"):
+                    saw_keepalive = True
+                    release.set()  # un-stall the run; stream should end
+                    continue
+                if line:
+                    events.append(json.loads(line))
+        assert saw_keepalive
+        assert events[-1]["event"] == "report"
+    finally:
+        release.set()
+        srv.close()
+        thread.join(timeout=10)
 
 
 # -- fail-fast validation (400s) ---------------------------------------------

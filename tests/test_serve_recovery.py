@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.metrics.report import render_json
+from repro.metrics.telemetry import validate_event
 from repro.serve import load_journal, parse_run_request
 from repro.serve.jobs import JobStore
 
@@ -120,6 +121,33 @@ def _journaled_cells(journal_path, run_id):
     return keys
 
 
+def _journaled_max_seq(journal_path, run_id):
+    """Highest event ``seq`` any journaled record for one run carries."""
+    max_seq = -1
+    raw = journal_path.read_text(errors="replace")
+    for line in raw.split("\n")[:-1]:  # drop the (possibly torn) tail
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("run") == run_id and isinstance(record.get("seq"), int):
+            max_seq = max(max_seq, record["seq"])
+    return max_seq
+
+
+def _events(base, run_id):
+    """Drain the NDJSON event stream of a terminal run, skipping
+    keepalive comment lines."""
+    with urllib.request.urlopen(
+        f"{base}/v1/runs/{run_id}/events", timeout=30
+    ) as resp:
+        return [
+            json.loads(line)
+            for line in resp.read().decode("utf-8").splitlines()
+            if line and not line.startswith(":")
+        ]
+
+
 def _control_report():
     """The uninterrupted run, in process: the byte-identical target."""
     store = JobStore(workers=1)
@@ -173,6 +201,11 @@ def test_sigkill_mid_run_resumes_to_byte_identical_report(tmp_path):
 
     checkpointed = len(before_kill)
     assert len(set(before_kill)) == checkpointed  # no dupes pre-kill
+    # Every journal record carries the seq of the event batch it made
+    # durable; the pre-crash high-water mark anchors the monotonicity
+    # assertion after the resume.
+    pre_crash_seq = _journaled_max_seq(journal_path, run_id)
+    assert pre_crash_seq > 0
 
     # -- second incarnation: same journal, resume, finish ---------------------
     proc, base = _start_server(journal_path)
@@ -192,6 +225,18 @@ def test_sigkill_mid_run_resumes_to_byte_identical_report(tmp_path):
 
         # The resumed report is byte-identical to the uninterrupted run.
         assert render_json(snap["report"]) == control
+
+        # Event seq is monotonic across the crash-resume boundary: the
+        # recovered incarnation's stream starts exactly one past the
+        # highest seq the first incarnation journaled — it must never
+        # restart from len(job.events) and hand followers colliding or
+        # regressing seqs.
+        events = _events(base, run_id)
+        for event in events:
+            validate_event(event)
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(set(seqs)), "seq regressed in resumed stream"
+        assert seqs[0] == pre_crash_seq + 1
     finally:
         proc.terminate()
         try:

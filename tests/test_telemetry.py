@@ -1,129 +1,359 @@
-"""Tests for time integrals and interval recorders."""
+"""Tests for the versioned telemetry layer: event schema + metrics registry.
+
+Two halves, mirroring :mod:`repro.metrics.telemetry`:
+
+- schema-level unit tests (envelope shape, validation rejections, one
+  canonical example per kind — set-equal to the schema, so adding a
+  kind without an example fails here), and
+- end-to-end coverage that every kind the engine and
+  :class:`~repro.serve.jobs.JobStore` can emit actually appears on a
+  real event stream — fresh, failed, journal-resumed, and interrupted
+  runs — plus the hypothesis property that streamed and batched engines
+  carry identical counter totals.
+"""
+
+import json
+import threading
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Environment
-from repro.cluster.telemetry import IntervalRecorder, TimeIntegral, overlap_seconds
-
-
-def test_integral_of_constant_level():
-    env = Environment()
-    meter = TimeIntegral(env)
-    meter.add(5.0)
-
-    def advance(env):
-        yield env.timeout(10.0)
-
-    env.process(advance(env))
-    env.run()
-    assert meter.integral() == pytest.approx(50.0)
-
-
-def test_integral_piecewise():
-    env = Environment()
-    meter = TimeIntegral(env)
-
-    def scenario(env):
-        meter.add(2.0)          # level 2 on [0, 4)
-        yield env.timeout(4.0)
-        meter.add(3.0)          # level 5 on [4, 6)
-        yield env.timeout(2.0)
-        meter.set(0.0)          # level 0 afterwards
-        yield env.timeout(10.0)
-
-    env.process(scenario(env))
-    env.run()
-    assert meter.integral() == pytest.approx(2 * 4 + 5 * 2)
-    assert meter.peak == pytest.approx(5.0)
-
-
-def test_integral_negative_level_rejected():
-    env = Environment()
-    meter = TimeIntegral(env)
-    meter.add(1.0)
-    with pytest.raises(ValueError):
-        meter.add(-5.0)  # beyond the float-noise clamp
-
-
-def test_integral_clamps_float_noise():
-    env = Environment()
-    meter = TimeIntegral(env)
-    meter.add(1.0)
-    meter.add(-1.0 - 1e-7)  # sub-unit residue is forgiven
-    assert meter.level == 0.0
-
-
-@settings(max_examples=50, deadline=None)
-@given(
-    steps=st.lists(
-        st.tuples(
-            st.floats(min_value=0.01, max_value=10.0),  # duration
-            st.floats(min_value=0.0, max_value=100.0),  # next level
-        ),
-        min_size=1,
-        max_size=20,
-    )
+import repro.serve.jobs as jobs_module
+from repro.metrics.stats import percentile_sorted
+from repro.metrics.telemetry import (
+    METRICS,
+    MetricsRegistry,
+    SCHEMA_VERSION,
+    SchemaError,
+    event_envelope,
+    event_kinds,
+    metric_names,
+    validate_event,
 )
-def test_property_integral_matches_manual_sum(steps):
-    env = Environment()
-    meter = TimeIntegral(env)
-    expected = 0.0
-    level = 0.0
+from repro.serve import parse_run_request
+from repro.serve.jobs import JobStore
+from repro.serve.journal import RunJournal
 
-    def scenario(env):
-        nonlocal expected, level
-        for duration, next_level in steps:
-            meter.set(next_level)
-            level = next_level
-            expected += level * duration
-            yield env.timeout(duration)
-
-    env.process(scenario(env))
-    env.run()
-    assert meter.integral() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+BODY = {
+    "app": "wc",
+    "seed": 5,
+    "synth": {"tenants": 3, "duration_s": 10, "mean_rpm": 60, "seed": 2},
+}
 
 
-def test_interval_recorder_busy_fraction():
-    env = Environment()
-    rec = IntervalRecorder(env)
-
-    def scenario(env):
-        rec.begin("a", "cpu")
-        yield env.timeout(2.0)
-        rec.end("a")
-        yield env.timeout(2.0)
-        rec.begin("b", "cpu")
-        yield env.timeout(1.0)
-        rec.end("b")
-        yield env.timeout(5.0)
-
-    env.process(scenario(env))
-    env.run()
-    assert rec.busy_fraction("cpu") == pytest.approx(3.0 / 10.0)
-    assert rec.labelled("net") == []
+def _drain(store, run_id):
+    events = list(store.follow(run_id))
+    for event in events:
+        validate_event(event)
+    return events
 
 
-def test_interval_recorder_double_begin_rejected():
-    env = Environment()
-    rec = IntervalRecorder(env)
-    rec.begin("k", "cpu")
+# -- envelope + schema --------------------------------------------------------
+
+#: One canonical, valid example per event kind.  The set-equality
+#: assertion below makes this table the schema's regression net: a new
+#: kind cannot land without a validated example.
+EXAMPLES = {
+    "queued": {"run_id": "run-000001", "request": {"app": "wc"}},
+    "running": {"run_id": "run-000001"},
+    "recovered": {"run_id": "run-000001", "cells_journaled": 2},
+    "interrupted": {"run_id": "run-000001"},
+    "cell": {
+        "run_id": "run-000001", "cell": "tenant0", "offered": 4,
+        "completed": 4, "failed": 0, "wall_s": 0.25,
+        "resumed": True, "latency": {"mean_s": 0.1},
+    },
+    "progress": {
+        "run_id": "run-000001", "cells_done": 1, "cells_total": 3,
+        "offered": 4, "completed": 4, "failed": 0,
+    },
+    "counter": {
+        "run_id": "run-000001", "name": "requests_completed", "value": 4,
+    },
+    "gauge": {
+        "run_id": "run-000001", "name": "phase_seconds", "value": 0.5,
+        "labels": {"phase": "execute"},
+    },
+    "report": {"run_id": "run-000001", "report": {"offered": 4}},
+    "error": {"run_id": "run-000001", "message": "boom"},
+}
+
+
+def test_every_kind_has_a_validating_example():
+    assert set(EXAMPLES) == set(event_kinds())
+    for kind, body in EXAMPLES.items():
+        validate_event(event_envelope(kind, body, seq=0))
+
+
+def test_envelope_sorts_body_and_stamps_version():
+    envelope = event_envelope("error", {"run_id": "r", "message": "m"}, seq=3)
+    assert list(envelope) == ["event", "v", "seq", "message", "run_id"]
+    assert envelope["v"] == SCHEMA_VERSION
     with pytest.raises(ValueError):
-        rec.begin("k", "cpu")
+        event_envelope("error", {"event": "spoofed"})
 
 
-def test_overlap_seconds_basic():
-    a = [(0.0, 5.0)]
-    b = [(3.0, 8.0)]
-    assert overlap_seconds(a, b) == pytest.approx(2.0)
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda e: e.update(event="nonsense"),
+        lambda e: e.update(v=SCHEMA_VERSION + 1),
+        lambda e: e.pop("seq"),
+        lambda e: e.update(seq=True),
+        lambda e: e.update(seq=-1),
+        lambda e: e.pop("message"),
+        lambda e: e.update(message=42),
+        lambda e: e.update(surprise="extra"),
+    ],
+    ids=[
+        "unknown-kind", "wrong-version", "missing-seq", "bool-seq",
+        "negative-seq", "missing-required", "mistyped-field",
+        "undeclared-extra",
+    ],
+)
+def test_validate_event_rejects(mutate):
+    envelope = event_envelope("error", dict(EXAMPLES["error"]), seq=0)
+    mutate(envelope)
+    with pytest.raises(SchemaError):
+        validate_event(envelope)
 
 
-def test_overlap_seconds_disjoint():
-    assert overlap_seconds([(0, 1)], [(2, 3)]) == 0.0
+def test_validate_event_rejects_bool_where_int_expected():
+    body = dict(EXAMPLES["cell"], offered=True)
+    with pytest.raises(SchemaError):
+        validate_event(event_envelope("cell", body, seq=0))
 
 
-def test_overlap_seconds_merges_unions():
-    a = [(0.0, 2.0), (1.0, 4.0)]   # union [0,4]
-    b = [(3.0, 5.0), (3.5, 6.0)]   # union [3,6]
-    assert overlap_seconds(a, b) == pytest.approx(1.0)
+# -- metrics registry ---------------------------------------------------------
+
+
+def test_registry_rejects_undeclared_and_retyped_names():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("repro_made_up_total")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_cells_completed_total")  # declared a counter
+
+
+def test_registry_get_or_create_is_stable_per_label_set():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_tenant_requests_total", tenant="a")
+    again = registry.counter("repro_tenant_requests_total", tenant="a")
+    b = registry.counter("repro_tenant_requests_total", tenant="b")
+    assert a is again and a is not b
+    a.inc(2)
+    b.inc()
+    assert registry.counter_total("repro_tenant_requests_total") == 3
+
+
+def test_histogram_quantiles_use_percentile_sorted():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "repro_tenant_request_latency_seconds", tenant="a"
+    )
+    samples = [0.4, 0.1, 0.9, 0.2, 0.3]
+    for s in samples:
+        hist.observe(s)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(sum(samples))
+    assert hist.quantile(50.0) == percentile_sorted(sorted(samples), 50.0)
+    assert hist.quantile(99.0) == percentile_sorted(sorted(samples), 99.0)
+
+
+def test_prometheus_rendering_shape():
+    registry = MetricsRegistry()
+    registry.counter("repro_runs_total", status="done").inc(2)
+    registry.gauge("repro_jobs_inflight").set(1)
+    hist = registry.histogram(
+        "repro_tenant_request_latency_seconds", tenant='we"ird'
+    )
+    hist.observe(0.5)
+    text = registry.render_prometheus()
+    lines = text.splitlines()
+    assert "# TYPE repro_runs_total counter" in lines
+    assert 'repro_runs_total{status="done"} 2' in lines
+    assert "# TYPE repro_jobs_inflight gauge" in lines
+    # Exact-quantile histograms expose as Prometheus summaries.
+    assert "# TYPE repro_tenant_request_latency_seconds summary" in lines
+    assert (
+        'repro_tenant_request_latency_seconds{tenant="we\\"ird",'
+        'quantile="0.5"} 0.5' in lines
+    )
+    assert (
+        'repro_tenant_request_latency_seconds_count{tenant="we\\"ird"} 1'
+        in lines
+    )
+    # HELP precedes TYPE for every family, families sorted by name.
+    helps = [l.split()[2] for l in lines if l.startswith("# HELP")]
+    assert helps == sorted(helps)
+    assert metric_names() == sorted(METRICS)
+
+
+# -- every emittable kind appears on a real stream ----------------------------
+
+
+def test_all_event_kinds_emitted_across_run_shapes(tmp_path, monkeypatch):
+    seen = set()
+
+    # 1. A fresh journaled run: queued/running/cell/progress/counter/
+    #    gauge/report.
+    journal_path = tmp_path / "journal.jsonl"
+    store = JobStore(workers=1, journal=RunJournal(str(journal_path)))
+    try:
+        run_id = store.submit(parse_run_request(BODY))
+        events = _drain(store, run_id)
+        report = next(e for e in events if e["event"] == "report")["report"]
+        counters = {
+            e["name"]: e["value"] for e in events if e["event"] == "counter"
+        }
+        assert counters["requests_offered"] == report["offered"]
+        assert counters["requests_completed"] == report["completed"]
+        assert counters["requests_failed"] == report["failed"]
+        assert counters["cells_completed"] == 3
+        assert {
+            e["labels"]["phase"] for e in events if e["event"] == "gauge"
+        } == {"prepare", "execute", "finalize"}
+        assert store.metrics.counter_total("repro_cells_completed_total") == 3
+        assert (
+            store.metrics.counter_total("repro_tenant_requests_total")
+            == report["offered"]
+        )
+        assert store.metrics.counter_total("repro_journal_fsyncs_total") > 0
+    finally:
+        store.close()
+    seen.update(e["event"] for e in events)
+
+    # 2. Resume from a truncated copy of that journal (submit + all but
+    #    one cell): recovered + resumed cells + a fresh re-executed cell,
+    #    seq strictly increasing across the splice.
+    records = [
+        json.loads(line) for line in journal_path.read_text().splitlines()
+    ]
+    kept = [r for r in records if r["rec"] in ("submit", "cell")]
+    kept.pop(max(i for i, r in enumerate(kept) if r["rec"] == "cell"))
+    resume_path = tmp_path / "resume.jsonl"
+    resume_path.write_text(
+        "".join(json.dumps(r, separators=(",", ":")) + "\n" for r in kept)
+    )
+    store = JobStore(workers=1, journal=RunJournal(str(resume_path)))
+    try:
+        events = _drain(store, run_id)
+        resumed_report = next(
+            e for e in events if e["event"] == "report"
+        )["report"]
+        assert resumed_report == report  # resume is invisible in the report
+        assert any(e["event"] == "cell" and e.get("resumed") for e in events)
+        assert any(
+            e["event"] == "cell" and not e.get("resumed") for e in events
+        )
+        counters = {
+            e["name"]: e["value"] for e in events if e["event"] == "counter"
+        }
+        assert counters["requests_offered"] == report["offered"]
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert store.metrics.counter_total("repro_cells_resumed_total") == 2
+    finally:
+        store.close()
+    seen.update(e["event"] for e in events)
+
+    # 3. A run whose engine raises: the error terminal event.
+    def boom(*args, **kwargs):
+        raise RuntimeError("engine exploded")
+
+    real_replay = jobs_module.run_parallel_replay
+    monkeypatch.setattr(jobs_module, "run_parallel_replay", boom)
+    store = JobStore(workers=1)
+    try:
+        run_id = store.submit(parse_run_request(BODY))
+        events = _drain(store, run_id)
+        assert events[-1]["event"] == "error"
+        assert "engine exploded" in events[-1]["message"]
+        assert store.metrics.snapshot()["repro_runs_total"] == {
+            (("status", "failed"),): 1.0
+        }
+    finally:
+        store.close()
+    seen.update(e["event"] for e in events)
+
+    # 4. Interrupted runs: one swept while queued, one swept while its
+    #    worker is stuck past close()'s timeout.  The attached follower
+    #    terminates instead of hanging forever (the satellite bugfix).
+    release = threading.Event()
+
+    def stuck(*args, **kwargs):
+        release.wait(timeout=10)
+        return real_replay(*args, **kwargs)
+
+    monkeypatch.setattr(jobs_module, "run_parallel_replay", stuck)
+    store = JobStore(workers=1)
+    running_id = store.submit(parse_run_request(BODY))
+    queued_id = store.submit(parse_run_request(BODY))
+    collected = []
+    follower = threading.Thread(
+        target=lambda: collected.extend(store.follow(running_id)),
+        daemon=True,
+    )
+    follower.start()
+    for _ in range(200):
+        if store.counts()["running"]:
+            break
+        threading.Event().wait(0.02)
+    store.close(timeout_s=0.2)
+    release.set()
+    follower.join(timeout=10)
+    assert not follower.is_alive(), "follower hung on an interrupted run"
+    assert collected[-1]["event"] == "interrupted"
+    queued_events = list(store.follow(queued_id))
+    assert queued_events[-1]["event"] == "interrupted"
+    seen.update(e["event"] for e in collected)
+    seen.update(e["event"] for e in queued_events)
+
+    # Everything the schema declares was actually observed.
+    assert seen == set(event_kinds())
+
+
+# -- streamed vs batched carry identical counter totals -----------------------
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=1023),
+    tenants=st.integers(min_value=2, max_value=5),
+)
+def test_streamed_and_batched_counter_totals_match(seed, tenants):
+    body = {
+        "app": "wc",
+        "seed": seed,
+        "synth": {
+            "tenants": tenants, "duration_s": 10,
+            "mean_rpm": 40, "seed": seed,
+        },
+    }
+    totals = {}
+    for stream in (True, False):
+        store = JobStore(workers=1)
+        try:
+            run_id = store.submit(
+                parse_run_request(dict(body, stream=stream))
+            )
+            events = _drain(store, run_id)
+        finally:
+            store.close()
+        report = next(e for e in events if e["event"] == "report")["report"]
+        counters = {
+            e["name"]: e["value"] for e in events if e["event"] == "counter"
+        }
+        assert counters["requests_offered"] == report["offered"]
+        assert counters["requests_completed"] == report["completed"]
+        assert counters["requests_failed"] == report["failed"]
+        assert counters["cells_completed"] == sum(
+            1 for e in events if e["event"] == "cell"
+        )
+        totals[stream] = counters
+    assert totals[True] == totals[False]

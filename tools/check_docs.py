@@ -13,6 +13,10 @@ Three enforcement passes, so docs never drift from the code:
    appear (method and path pattern) in ``docs/serve.md`` — adding an
    endpoint to ``src/repro/serve/`` without a matching reference
    section fails CI.
+4. **Telemetry coverage.**  Every event kind and metric name declared
+   in :mod:`repro.metrics.telemetry` must appear in
+   ``docs/observability.md`` — adding a kind or metric without
+   documenting it fails CI.
 
 Usage:  PYTHONPATH=src python tools/check_docs.py [paths...]
 (Coverage passes run only on the default full-corpus invocation.)
@@ -119,6 +123,42 @@ def check_route_coverage(serve_doc: Path) -> List[str]:
     return failures
 
 
+def telemetry_surface() -> Tuple[List[str], List[str]]:
+    """(event kinds, metric names) from the live telemetry schema."""
+    from repro.metrics.telemetry import event_kinds, metric_names
+
+    return event_kinds(), metric_names()
+
+
+def check_event_coverage(obs_doc: Path) -> List[str]:
+    """Each event kind and metric name must appear in observability.md.
+
+    Kinds must show up as inline code (`` `cell` ``) so a prose word
+    like "error" never satisfies the check by accident; metric names
+    are unambiguous enough to match bare.
+    """
+    kinds, names = telemetry_surface()
+    if not obs_doc.is_file():
+        return [
+            f"{obs_doc} is missing but repro.metrics.telemetry declares "
+            f"{len(kinds)} event kind(s) and {len(names)} metric(s)"
+        ]
+    text = obs_doc.read_text()
+    failures = []
+    for kind in kinds:
+        if not re.search(rf"`{re.escape(kind)}`", text):
+            failures.append(
+                f"event kind '{kind}' has no `{kind}` reference in "
+                f"{obs_doc.name}"
+            )
+    for name in names:
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            failures.append(
+                f"metric '{name}' is not documented in {obs_doc.name}"
+            )
+    return failures
+
+
 def main(argv: List[str]) -> int:
     paths = (
         [Path(p) for p in argv]
@@ -136,7 +176,12 @@ def main(argv: List[str]) -> int:
         corpus = "\n".join(path.read_text() for path in paths)
         coverage_failures = check_cli_coverage(corpus)
         coverage_failures += check_route_coverage(ROOT / "docs" / "serve.md")
-        coverage = len(cli_subcommands()) + len(serve_routes())
+        coverage_failures += check_event_coverage(
+            ROOT / "docs" / "observability.md"
+        )
+        kinds, names = telemetry_surface()
+        coverage = (len(cli_subcommands()) + len(serve_routes())
+                    + len(kinds) + len(names))
         failures.extend(coverage_failures)
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
