@@ -18,6 +18,13 @@ so the replay-throughput trajectory is tracked across commits
     work stealing starts the hot cell first and packs the rest around
     it.  Both engines must produce byte-identical merged reports.
 
+Engine-vs-engine comparisons run each engine in a *fresh subprocess*
+(``tools/bench_replay.py --engine``): within one process the second
+engine's forked workers inherit the first run's heap (their first
+collections traverse it, unsharing copy-on-write pages), and the RSS
+high-water mark is monotonic — same-process comparison systematically
+penalizes whichever engine runs second.
+
 Assertions scale with the cores actually available — on a single-core
 runner the comparisons only bound overhead, while at 4+ cores the
 work-stealing engine must clear the 1.3x bar (the ISSUE's acceptance
@@ -28,10 +35,12 @@ events; ~114 gives the 100k-event acceptance trace).
 import dataclasses
 import json
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from repro.loadgen.trace import InvocationTrace, synthesize_trace
-from repro.metrics.report import render_json
 from repro.parallel import ReplaySpec, partition_trace, run_parallel_replay
 
 SCALE = float(os.environ.get("BENCH_REPLAY_SCALE", "1.0"))
@@ -39,6 +48,8 @@ SHARDS = 4
 WORKERS = 4
 SMALL_TENANTS = 24
 SKEW_SEED = 7
+
+_BENCH_TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_replay.py"
 
 
 def make_skewed_trace(scale: float = None, small_tenants: int = SMALL_TENANTS,
@@ -100,39 +111,68 @@ def throughput_point(scale: float = None) -> dict:
 
 
 def replay_skewed(stream: bool, scale: float = None, workers: int = WORKERS,
-                  shards: int = SHARDS):
+                  shards: int = SHARDS, record_sink=None):
     """One skew-bench engine run; returns the merged result."""
     trace = make_skewed_trace(scale)
-    spec = ReplaySpec(default_app="wc", seed=1)
+    spec = ReplaySpec(default_app="wc", seed=1, record_sink=record_sink)
     return run_parallel_replay(
         trace, spec, shards=shards, workers=workers, stream=stream
     )
 
 
+def engine_subprocess(engine: str, scale: float = None,
+                      workers: int = WORKERS, shards: int = SHARDS,
+                      record_sink: str = "memory") -> dict:
+    """Run one engine configuration in a fresh interpreter.
+
+    Returns the ``tools/bench_replay.py --engine`` result dict: events,
+    isolated wall clock and parent peak RSS, and the SHA-256 of the
+    canonical report rendering — identity across configurations is
+    checked by hash, so the subprocess boundary never weakens the
+    byte-identity assertion.
+    """
+    if scale is None:
+        scale = SCALE
+    command = [
+        sys.executable, str(_BENCH_TOOL), "--engine", engine,
+        "--scale", str(scale), "--workers", str(workers),
+        "--shards", str(shards),
+    ]
+    if record_sink != "memory":
+        command += ["--record-sink", record_sink]
+    out = subprocess.run(command, capture_output=True, text=True, check=True)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
 def skew_point(scale: float = None, workers: int = WORKERS) -> dict:
-    """Static-batched vs work-stealing on the skewed trace, one point."""
+    """Static-batched vs work-stealing on the skewed trace, one point.
+
+    Each engine runs in a fresh subprocess (see the module docstring) —
+    the wall clocks and RSS marks are clean per-engine measurements,
+    and report identity is checked via the canonical rendering's
+    SHA-256 across the process boundary.
+    """
     trace = make_skewed_trace(scale)
-    spec = ReplaySpec(default_app="wc", seed=1)
     cores = os.cpu_count() or 1
     batches = partition_trace(trace, SHARDS)
     shard_loads = [sum(len(cell) for _, cell in batch) for batch in batches]
     cell_loads = [len(cell) for batch in batches for _, cell in batch]
+    hot_events = sum(1 for e in trace.events if e.tenant == "hot")
+    tenants = len(trace.tenants())
+    del batches
 
-    batched = run_parallel_replay(
-        trace, spec, shards=SHARDS, workers=workers, stream=False
-    )
-    streamed = run_parallel_replay(
-        trace, spec, shards=SHARDS, workers=workers, stream=True
-    )
-    identical = render_json(batched.to_dict()) == render_json(streamed.to_dict())
+    batched = engine_subprocess("batched", scale, workers)
+    streamed = engine_subprocess("streamed", scale, workers)
+    identical = batched["report_sha256"] == streamed["report_sha256"]
     speedup = (
-        batched.wall_s / streamed.wall_s if streamed.wall_s > 0 else 0.0
+        batched["wall_s"] / streamed["wall_s"]
+        if streamed["wall_s"] > 0 else 0.0
     )
     return {
         "bench": "replay_skew_stealing",
         "events": len(trace),
-        "tenants": len(trace.tenants()),
-        "hot_events": sum(1 for e in trace.events if e.tenant == "hot"),
+        "tenants": tenants,
+        "hot_events": hot_events,
         "shards": SHARDS,
         "workers": workers,
         "cpu_count": cores,
@@ -140,15 +180,92 @@ def skew_point(scale: float = None, workers: int = WORKERS) -> dict:
         # busiest single cell (= the steal-optimal critical path).
         "max_shard_events": max(shard_loads),
         "max_cell_events": max(cell_loads),
-        "batched_wall_s": round(batched.wall_s, 4),
-        "streamed_wall_s": round(streamed.wall_s, 4),
+        "batched_wall_s": batched["wall_s"],
+        "streamed_wall_s": streamed["wall_s"],
         "batched_events_per_s": round(
-            len(trace) / batched.wall_s if batched.wall_s > 0 else 0.0, 2
+            len(trace) / batched["wall_s"] if batched["wall_s"] > 0 else 0.0,
+            2,
         ),
-        "streamed_events_per_s": round(streamed.events_per_s(), 2),
+        "streamed_events_per_s": round(
+            len(trace) / streamed["wall_s"]
+            if streamed["wall_s"] > 0 else 0.0,
+            2,
+        ),
+        "batched_max_rss_mb": batched["max_rss_mb"],
+        "streamed_max_rss_mb": streamed["max_rss_mb"],
         "speedup": round(speedup, 3),
         "identical": identical,
     }
+
+
+def multicore_point(scale: float = None,
+                    configs=((1, 1), (2, 2), (4, 4))) -> dict:
+    """Shards×workers sweep, both engines, each in a fresh subprocess.
+
+    One point with a ``sweep`` row per ``(shards, workers)`` pair; the
+    report SHA-256 must be identical across every engine and
+    configuration — the sweep doubles as the shard/worker-invariance
+    check at benchmark scale.
+    """
+    cores = os.cpu_count() or 1
+    rows = []
+    hashes = set()
+    events = None
+    for shards, workers in configs:
+        batched = engine_subprocess("batched", scale, workers, shards)
+        streamed = engine_subprocess("streamed", scale, workers, shards)
+        hashes.update((batched["report_sha256"], streamed["report_sha256"]))
+        events = streamed["events"]
+        rows.append({
+            "shards": shards,
+            "workers": workers,
+            "batched_wall_s": batched["wall_s"],
+            "streamed_wall_s": streamed["wall_s"],
+            "batched_max_rss_mb": batched["max_rss_mb"],
+            "streamed_max_rss_mb": streamed["max_rss_mb"],
+        })
+    point = {
+        "bench": "replay_multicore",
+        "events": events,
+        "cpu_count": cores,
+        "sweep": rows,
+        "identical": len(hashes) == 1,
+    }
+    assert point["identical"], point
+    return point
+
+
+def spill_point(scale: float = None, workers: int = WORKERS) -> dict:
+    """Streamed-engine parent peak RSS: in-memory vs disk-spill sink.
+
+    Both runs are fresh subprocesses over the same skewed trace; the
+    reports must be byte-identical (SHA-256 of the canonical
+    rendering).  At acceptance scale (>= 50k events) the spill sink
+    must hold parent peak RSS strictly below the in-memory sink's —
+    the CI gate that keeps "bounded memory" honest.
+    """
+    memory = engine_subprocess("streamed", scale, workers)
+    spill = engine_subprocess(
+        "streamed", scale, workers, record_sink="spill"
+    )
+    point = {
+        "bench": "replay_spill_rss",
+        "events": memory["events"],
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "memory_sink_wall_s": memory["wall_s"],
+        "spill_sink_wall_s": spill["wall_s"],
+        "memory_sink_max_rss_mb": memory["max_rss_mb"],
+        "spill_sink_max_rss_mb": spill["max_rss_mb"],
+        "identical": memory["report_sha256"] == spill["report_sha256"],
+    }
+    assert point["identical"], point
+    if point["events"] >= 50_000:
+        assert (
+            point["spill_sink_max_rss_mb"]
+            < point["memory_sink_max_rss_mb"]
+        ), point
+    return point
 
 
 def test_bench_replay_throughput(benchmark):

@@ -258,7 +258,25 @@ def _replay_spec_from_args(args: argparse.Namespace):
     """The ReplaySpec shared by ``repro replay`` and the heterogeneous
     ``repro run`` path — one place to thread new spec fields through."""
     from .parallel import ReplaySpec
+    from .parallel.sink import DEFAULT_MAX_RECORDS_IN_MEMORY, RecordSinkSpec
 
+    # Either spill flag opts into the disk-spilling record sink; the
+    # sink never changes the report, only where merged records live.
+    record_sink = None
+    spill_dir = getattr(args, "spill_dir", None)
+    max_records = getattr(args, "max_records_in_memory", None)
+    if spill_dir is not None or max_records is not None:
+        if max_records is not None and max_records < 1:
+            raise CliError("--max-records-in-memory must be >= 1")
+        record_sink = RecordSinkSpec(
+            kind="spill",
+            spill_dir=spill_dir,
+            max_records_in_memory=(
+                max_records
+                if max_records is not None
+                else DEFAULT_MAX_RECORDS_IN_MEMORY
+            ),
+        )
     return ReplaySpec(
         system_name=args.system,
         default_app=args.app,
@@ -267,6 +285,7 @@ def _replay_spec_from_args(args: argparse.Namespace):
         timeout_s=args.timeout_s,
         input_bytes=parse_size(args.input_bytes) if args.input_bytes else None,
         fanout=args.fanout,
+        record_sink=record_sink,
     )
 
 
@@ -537,6 +556,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError(f"--port must be 0..65535, got {args.port}")
     if args.workers < 1:
         raise CliError("--workers must be >= 1")
+    if args.max_events_per_run is not None and args.max_events_per_run < 1:
+        raise CliError("--max-events-per-run must be >= 1")
     default_config = None
     if args.tenant_config:
         # Same fail-fast gate as replay: a bad profile file kills the
@@ -552,6 +573,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             default_tenant_config=default_config,
             journal=args.journal,
             dashboard=not args.no_dashboard,
+            max_events_per_run=args.max_events_per_run,
         )
     except OSError as exc:
         raise CliError(
@@ -675,6 +697,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cell-granular work-stealing scheduler with "
                         "online merge (default); --no-stream uses the "
                         "static hash-batched engine")
+    replay.add_argument("--spill-dir", default=None, metavar="PATH",
+                        help="spill merged records to sorted run files "
+                        "under this directory instead of holding them in "
+                        "RAM (bounded-memory merge; the report is "
+                        "byte-identical either way)")
+    replay.add_argument("--max-records-in-memory", type=int, default=None,
+                        metavar="N",
+                        help="records buffered before cells spill to disk "
+                        "(default: 10000; setting this enables spilling "
+                        "even without --spill-dir)")
     replay.add_argument("--policy", default="tenant",
                         help="cell partition policy: tenant | "
                         "timeslice[:<seconds>] (default: tenant)")
@@ -764,6 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "runs survive restarts and resume from completed "
                        "cells; restarting on the same path recovers all "
                        "journaled runs (see docs/serve.md)")
+    serve.add_argument("--max-events-per-run", type=int, default=10_000,
+                       metavar="N",
+                       help="in-RAM event-log cap per run (default "
+                       "10000); older events spill to a per-run disk "
+                       "spool that history replays come from")
     serve.add_argument("--no-dashboard", action="store_true",
                        help="disable GET /dashboard (the live telemetry "
                        "page); the API and GET /metrics stay up "

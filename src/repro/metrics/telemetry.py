@@ -294,6 +294,10 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "counter",
         "Cells pulled by idle workers beyond the initial scheduling "
         "window (work stealing)"),
+    "repro_records_spilled_total": (
+        "counter",
+        "Request records written to disk-spill run files by the "
+        "spilling record sink"),
     "repro_tenant_requests_total": (
         "counter", "Workflow invocations replayed, labeled by tenant"),
     "repro_tenant_request_latency_seconds": (

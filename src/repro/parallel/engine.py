@@ -44,9 +44,11 @@ wall-clock time and memory.
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from itertools import islice
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -56,6 +58,12 @@ from ..metrics.latency import LatencySummary, RequestRecord
 from ..metrics.telemetry import MetricsRegistry
 from ..metrics.usage import UsageSummary
 from .policy import ShardPolicy, get_shard_policy, stable_hash
+from .sink import (
+    RecordAggregate,
+    make_record_sink,
+    record_from_payload,
+    record_to_payload,
+)
 from .spec import ReplaySpec
 
 __all__ = [
@@ -118,40 +126,13 @@ class CellResult:
                 else list(self.latency.samples)
             ),
             "records": [
-                {
-                    "request_id": record.request_id,
-                    "workflow": record.workflow,
-                    "submit_time": record.submit_time,
-                    "end_time": record.end_time,
-                    "failed": record.failed,
-                    "error": record.error,
-                    "tasks": [
-                        {
-                            "task_id": task.task_id,
-                            "function": task.function,
-                            "node": task.node,
-                            "ready_time": task.ready_time,
-                            "trigger_time": task.trigger_time,
-                            "exec_start": task.exec_start,
-                            "exec_end": task.exec_end,
-                            "get_s": task.get_s,
-                            "compute_s": task.compute_s,
-                            "put_s": task.put_s,
-                            "cold_start": task.cold_start,
-                            "retries": task.retries,
-                        }
-                        for task in record.tasks
-                    ],
-                }
-                for record in self.records
+                record_to_payload(record) for record in self.records
             ],
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CellResult":
         """Rebuild a :class:`CellResult` from :meth:`to_payload` output."""
-        from ..metrics.latency import TaskRecord
-
         usage = payload.get("usage")
         latency = payload.get("latency")
         return cls(
@@ -167,18 +148,7 @@ class CellResult:
                 else LatencySummary(samples=tuple(latency))
             ),
             records=[
-                RequestRecord(
-                    request_id=record["request_id"],
-                    workflow=record["workflow"],
-                    submit_time=record["submit_time"],
-                    end_time=record["end_time"],
-                    failed=record["failed"],
-                    error=record["error"],
-                    tasks=[
-                        TaskRecord(**task) for task in record.get("tasks", ())
-                    ],
-                )
-                for record in payload["records"]
+                record_from_payload(record) for record in payload["records"]
             ],
         )
 
@@ -232,6 +202,14 @@ class ParallelReplayResult(TraceRunResult):
     #: (trace, spec) alone, so including them in reports stays
     #: shard-invariant.
     tenant_profile_tags: Dict[str, dict] = field(default_factory=dict)
+    #: Streaming aggregate the record sink folded in canonical merge
+    #: order.  When present, ``to_dict`` renders the record-derived
+    #: report sections from it instead of re-scanning :attr:`records` —
+    #: which is what lets a disk-spilled result report without reading
+    #: its records back into RAM.  The aggregate observes records in the
+    #: exact order an in-memory scan would, so both paths are
+    #: byte-identical.
+    record_stats: Optional[RecordAggregate] = None
 
     def latency(self) -> LatencySummary:
         """The merged latency summary (falls back to recomputation)."""
@@ -246,7 +224,17 @@ class ParallelReplayResult(TraceRunResult):
     def to_dict(self) -> dict:
         from ..metrics.report import tag_tenant_profiles
 
-        payload = super().to_dict()
+        if self.record_stats is not None:
+            payload = self.record_stats.report_payload(
+                system=self.system_name,
+                workflow=self.workflow,
+                duration_s=self.duration_s,
+                offered=self.offered,
+                latency=self.merged_latency,
+                usage=self.usage,
+            )
+        else:
+            payload = super().to_dict()
         payload["replay"] = {
             "policy": self.policy_name,
             "cells": self.cell_count,
@@ -354,7 +342,7 @@ def _replay_shard(payload: Tuple[ReplaySpec, int, List[Cell]]) -> ShardResult:
 class _CellFold:
     """The bounded-size residue one folded cell leaves behind: every
     per-cell quantity whose canonical merge order matters, minus the
-    records (which stream straight into the shared list)."""
+    records (which stream straight into the record sink)."""
 
     offered: int
     duration_s: float
@@ -369,24 +357,37 @@ class StreamingMerge:
     """Online, order-insensitive fold of :class:`CellResult`\\ s.
 
     ``add`` accepts cells in *any* arrival order (work stealing
-    completes them unpredictably) and keeps only two things: one shared
-    record list (appended in arrival order) and a small per-cell residue
-    (counters, usage integrals, the latency sample chunk, the tenant
-    map).  ``finalize`` canonicalizes: residues fold in sorted-cell-key
-    order — so float summation order, profile tags, and tenant maps are
-    independent of scheduling — and records sort by the globally unique
-    ``(submit_time, request_id)`` key.  The result is byte-identical to
-    the legacy whole-batch merge at every shard/worker/steal order.
+    completes them unpredictably) and keeps only two things: the cell's
+    record run handed to a pluggable **record sink** (in-memory per-cell
+    sorted runs by default, disk-spilled runs when the spec asks — see
+    :mod:`repro.parallel.sink`) and a small per-cell residue (counters,
+    usage integrals, the latency sample chunk, the tenant map).
+    ``finalize`` canonicalizes: residues fold in sorted-cell-key order —
+    so float summation order, profile tags, and tenant maps are
+    independent of scheduling — and the sink k-way merges its per-cell
+    sorted runs by the globally unique ``(submit_time, request_id)``
+    key, releasing each run as it drains.  The result is byte-identical
+    to the legacy whole-batch merge at every shard/worker/steal order,
+    under either sink.
 
-    Memory stays bounded by the final merged report: nothing is ever
-    held per shard, and a folded :class:`CellResult` is dropped as soon
-    as ``add`` returns.
+    Memory stays bounded by the sink's policy: the in-memory sink by
+    the final merged report, the spilling sink by its record threshold
+    — never by whole-shard pickles or a second sort buffer.
     """
 
-    def __init__(self, trace: InvocationTrace, spec: ReplaySpec) -> None:
+    def __init__(
+        self,
+        trace: InvocationTrace,
+        spec: ReplaySpec,
+        sink=None,
+    ) -> None:
         self._trace = trace
         self._spec = spec
-        self._records: List[RequestRecord] = []
+        self.sink = (
+            sink
+            if sink is not None
+            else make_record_sink(getattr(spec, "record_sink", None))
+        )
         self._cells: Dict[str, _CellFold] = {}
 
     def __len__(self) -> int:
@@ -397,7 +398,7 @@ class StreamingMerge:
         afterwards (its record list is absorbed, not referenced)."""
         if cell.key in self._cells:
             raise ValueError(f"cell {cell.key!r} already merged")
-        self._records.extend(cell.records)
+        self.sink.add(cell.key, cell.records)
         self._cells[cell.key] = _CellFold(
             offered=cell.offered,
             duration_s=cell.duration_s,
@@ -413,17 +414,18 @@ class StreamingMerge:
         spec = self._spec
         keys = sorted(self._cells)
         cells = [self._cells[key] for key in keys]
-        records = self._records
-        records.sort(key=lambda record: (record.submit_time, record.request_id))
         usage: Optional[UsageSummary] = None
         tenant_of: Dict[str, str] = {}
         for cell in cells:
             tenant_of.update(cell.tenant_of)
             if cell.usage is not None:
                 usage = cell.usage if usage is None else usage.merge(cell.usage)
+        # The sink needs the full tenant map to aggregate per-tenant
+        # breakdowns while the merged stream is still flowing past.
+        records, stats = self.sink.finalize(tenant_of)
         latencies = [c.latency for c in cells if c.latency is not None]
         latency = LatencySummary.fold(latencies) if latencies else None
-        workflows = sorted({record.workflow for record in records})
+        workflows = stats.workflow_names()
         profile_tags: Dict[str, dict] = {}
         system_name = spec.system_name
         if spec.has_profiles:
@@ -450,6 +452,7 @@ class StreamingMerge:
             cell_wall_s={key: self._cells[key].wall_s for key in keys},
             merged_latency=latency,
             tenant_profile_tags=profile_tags,
+            record_stats=stats,
         )
 
 
@@ -513,6 +516,28 @@ def observe_cell_metrics(
             ).observe(record.latency)
 
 
+@contextmanager
+def _frozen_gc():
+    """Freeze the parent heap across worker-pool forks.
+
+    On fork start methods, workers inherit every tracked object the
+    parent holds; their first full collections then traverse that
+    inherited heap — touching reference counts and copy-on-write
+    unsharing pages for objects the worker will never free.  With a
+    large parent (a server holding earlier runs' merged records, or a
+    benchmark that already replayed once in-process) that churn
+    dominates small-cell replays.  ``gc.freeze()`` moves the pre-fork
+    heap into the permanent generation, which neither parent nor
+    children collections walk; the parent unfreezes once the pool is
+    gone, returning its own objects to normal collection.
+    """
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
+
+
 def _stream_cells(
     cells: List[Cell],
     spec: ReplaySpec,
@@ -538,7 +563,9 @@ def _stream_cells(
     )
     queue = iter(ordered)
     window = 2 * workers
-    with ProcessPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+    with _frozen_gc(), ProcessPoolExecutor(
+        max_workers=min(workers, len(ordered))
+    ) as pool:
         pending = {
             pool.submit(replay_cell, spec, key, cell_trace)
             for key, cell_trace in islice(queue, window)
@@ -669,7 +696,7 @@ phase_wall_s`).  Telemetry never feeds back into the replay, so the
                 for cell in _replay_shard(payload).cells:
                     fold(cell)
         else:
-            with ProcessPoolExecutor(
+            with _frozen_gc(), ProcessPoolExecutor(
                 max_workers=min(workers, len(payloads))
             ) as pool:
                 for shard in pool.map(_replay_shard, payloads):
@@ -693,6 +720,10 @@ phase_wall_s`).  Telemetry never feeds back into the replay, so the
         for phase, seconds in merged.phase_wall_s.items():
             metrics.histogram("repro_run_phase_seconds", phase=phase).observe(
                 seconds
+            )
+        if merge.sink.spilled_records:
+            metrics.counter("repro_records_spilled_total").inc(
+                merge.sink.spilled_records
             )
     merged.rss_mb = max_rss_mb()
     return merged

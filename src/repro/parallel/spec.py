@@ -31,6 +31,7 @@ from ..loadgen.runner import DEFAULT_TIMEOUT_S
 from ..loadgen.trace import InvocationTrace
 from .policy import stable_hash
 from .profiles import TenantConfig, TenantProfile
+from .sink import RecordSinkSpec
 
 __all__ = ["ReplaySpec", "ResolvedProfile"]
 
@@ -96,6 +97,10 @@ class ReplaySpec:
     default_profile: Optional[TenantProfile] = None
     #: Per-tenant-id profile overrides (heterogeneous tenancy).
     tenant_profiles: Optional[Dict[str, TenantProfile]] = None
+    #: Where the merged record stream lives (``None``: in memory).
+    #: Pure memory policy — never feeds cell seeds or the report, so
+    #: specs differing only here replay byte-identically.
+    record_sink: Optional[RecordSinkSpec] = None
 
     @property
     def has_profiles(self) -> bool:

@@ -14,10 +14,11 @@ GET      /dashboard             live telemetry dashboard (static HTML)
 GET      /v1/apps               the app registry (``repro apps``)
 GET      /v1/systems            the system registry (``repro systems``)
 GET      /v1/policies           placement + shard policy registries
-GET      /v1/runs               submission-ordered job listing
+GET      /v1/runs               submission-ordered job listing (paginated)
 POST     /v1/runs               submit a run (202 + job id)
 GET      /v1/runs/<id>          job status + the merged report
 GET      /v1/runs/<id>/events   NDJSON progress stream (per-cell events)
+GET      /v1/runs/<id>/records  paginated merged request records
 =======  =====================  ==========================================
 
 Dependency-free by design: :mod:`http.server` handles the transport,
@@ -37,10 +38,11 @@ import re
 from functools import lru_cache
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..metrics.report import render_event, render_json
 from ..parallel.profiles import TenantConfig
-from .jobs import JobStore, UnknownJob
+from .jobs import JobStore, RecordsUnavailable, UnknownJob
 from .journal import RunJournal
 from .validation import BadRequest, parse_run_request
 
@@ -56,10 +58,11 @@ ROUTES = [
     ("GET", "/v1/apps", "registered applications"),
     ("GET", "/v1/systems", "execution systems"),
     ("GET", "/v1/policies", "placement and shard policies"),
-    ("GET", "/v1/runs", "submission-ordered job listing"),
+    ("GET", "/v1/runs", "submission-ordered job listing (paginated)"),
     ("POST", "/v1/runs", "submit a run"),
     ("GET", "/v1/runs/<id>", "job status plus the merged report"),
     ("GET", "/v1/runs/<id>/events", "NDJSON progress stream"),
+    ("GET", "/v1/runs/<id>/records", "paginated merged request records"),
 ]
 
 #: Largest accepted request body; a trace bigger than this belongs on
@@ -68,6 +71,11 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _RUN_PATH = re.compile(r"^/v1/runs/([^/]+)$")
 _EVENTS_PATH = re.compile(r"^/v1/runs/([^/]+)/events$")
+_RECORDS_PATH = re.compile(r"^/v1/runs/([^/]+)/records$")
+
+#: ``GET /v1/runs/<id>/records`` page-size ceiling; a client asking for
+#: more gets clamped, keeping one response body bounded.
+MAX_RECORDS_PAGE = 10_000
 
 
 @lru_cache(maxsize=1)
@@ -155,6 +163,30 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _query(self) -> dict:
+        """Last-wins flat view of the request's query string."""
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.path).query).items()
+        }
+
+    @staticmethod
+    def _query_int(query: dict, key: str, minimum: int) -> Optional[int]:
+        value = query.get(key)
+        if value is None:
+            return None
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise BadRequest(
+                f"query parameter {key!r} must be an integer, got {value!r}"
+            ) from None
+        if parsed < minimum:
+            raise BadRequest(
+                f"query parameter {key!r} must be >= {minimum}, got {parsed}"
+            )
+        return parsed
+
     # -- GET ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -205,16 +237,39 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.write(body)
                 return None
             if path == "/v1/runs":
-                return self._send_json(200, {"runs": self.server.store.list()})
+                query = self._query()
+                limit = self._query_int(query, "limit", minimum=1)
+                runs, next_cursor = self.server.store.list_page(
+                    cursor=query.get("cursor"), limit=limit
+                )
+                return self._send_json(
+                    200, {"runs": runs, "next_cursor": next_cursor}
+                )
             match = _EVENTS_PATH.match(path)
             if match:
                 return self._stream_events(match.group(1))
+            match = _RECORDS_PATH.match(path)
+            if match:
+                query = self._query()
+                cursor = self._query_int(query, "cursor", minimum=0) or 0
+                limit = self._query_int(query, "limit", minimum=1)
+                limit = min(limit or 1000, MAX_RECORDS_PAGE)
+                return self._send_json(
+                    200,
+                    self.server.store.records_page(
+                        match.group(1), cursor=cursor, limit=limit
+                    ),
+                )
             match = _RUN_PATH.match(path)
             if match:
                 return self._send_json(
                     200, self.server.store.snapshot(match.group(1))
                 )
             self._send_error_json(404, f"no such path: {path}")
+        except BadRequest as exc:
+            self._send_error_json(400, str(exc))
+        except RecordsUnavailable as exc:
+            self._send_error_json(409, str(exc))
         except UnknownJob as exc:
             self._send_error_json(404, f"no such run: {exc.args[0]}")
         except (BrokenPipeError, ConnectionResetError):
@@ -345,6 +400,7 @@ def create_server(
     journal: Optional[str] = None,
     dashboard: bool = True,
     keepalive_s: Optional[float] = 15.0,
+    max_events_per_run: Optional[int] = 10_000,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -366,6 +422,12 @@ def create_server(
     surface only.  ``keepalive_s`` is the idle interval between
     ``: keepalive`` comment lines on event streams (``None`` disables
     them).
+
+    ``max_events_per_run`` caps each run's in-RAM event log
+    (``--max-events-per-run`` on the CLI; ``None`` = unbounded): older
+    envelopes move to a per-run disk spool that event followers replay
+    history from, so a huge trace can stream without growing the
+    server's resident memory per event.
     """
     return ReproServer(
         (host, port),
@@ -374,6 +436,7 @@ def create_server(
             max_finished=max_finished,
             journal=None if journal is None else RunJournal(journal),
             default_tenant_config=default_tenant_config,
+            max_events_per_run=max_events_per_run,
         ),
         default_tenant_config=default_tenant_config,
         quiet=quiet,

@@ -98,9 +98,50 @@ class ServeClient:
         """``GET /v1/apps``: the app registry, workflow DAGs included."""
         return self._json("/v1/apps")["apps"]
 
-    def runs(self) -> list:
-        """``GET /v1/runs``: submission-ordered run listing."""
-        return self._json("/v1/runs")["runs"]
+    def runs(self, page_size: Optional[int] = None) -> list:
+        """``GET /v1/runs``: the full submission-ordered run listing.
+
+        Pages through ``?cursor=&limit=`` transparently: callers always
+        get the complete listing, the wire never carries more than
+        ``page_size`` rows per response.  ``None`` lets the server
+        return everything in one page.
+        """
+        rows: list = []
+        cursor: Optional[str] = None
+        while True:
+            query = []
+            if cursor is not None:
+                query.append(f"cursor={cursor}")
+            if page_size is not None:
+                query.append(f"limit={page_size}")
+            suffix = f"?{'&'.join(query)}" if query else ""
+            payload = self._json(f"/v1/runs{suffix}")
+            rows.extend(payload["runs"])
+            cursor = payload.get("next_cursor")
+            if cursor is None:
+                return rows
+
+    def records(
+        self, run_id: str, page_size: int = 1000
+    ) -> Iterator[dict]:
+        """``GET /v1/runs/<id>/records``: yield a done run's records.
+
+        Pages through ``?cursor=&limit=`` transparently, yielding one
+        record payload at a time in the canonical merged order — the
+        client never holds more than one page in memory.  Raises
+        :class:`ServeError` (409) while the run is not done or once its
+        records have left the server's retention window.
+        """
+        cursor = 0
+        while True:
+            payload = self._json(
+                f"/v1/runs/{run_id}/records"
+                f"?cursor={cursor}&limit={page_size}"
+            )
+            yield from payload["records"]
+            cursor = payload.get("next_cursor")
+            if cursor is None:
+                return
 
     def submit(self, body: dict) -> str:
         """``POST /v1/runs``: submit a run body; returns the run id."""

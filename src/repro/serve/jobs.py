@@ -13,8 +13,13 @@ Progress streams through the engine's ``on_cell`` hook: every folded
 :class:`~repro.parallel.engine.CellResult` appends one stable event
 envelope (:func:`repro.metrics.report.event_envelope`) to the job's
 event log and wakes any ``GET /v1/runs/<id>/events`` subscriber waiting
-on the store's condition variable.  Event logs are append-only, so a
-late subscriber replays the full history before following live.
+on the store's condition variable.  The in-RAM log is a bounded ring
+(``max_events_per_run``): when it fills, the oldest envelopes move to a
+per-run disk spool (:class:`EventSpool`) the store replays history from
+— a late subscriber still sees the full, gap-free, seq-ordered history,
+but a long run can no longer grow resident memory without limit.  The
+terminal event is always the newest, so it is never evicted before a
+follower sees it.
 
 Durability: a store built with a :class:`~repro.serve.journal.RunJournal`
 persists every submission, cell completion, and terminal status to an
@@ -36,21 +41,35 @@ the report.
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import queue
+import shutil
+import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from itertools import islice
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..metrics.report import event_envelope
 from ..metrics.telemetry import MetricsRegistry, validate_event
 from ..parallel.engine import CellResult, run_parallel_replay
 from ..parallel.policy import get_shard_policy
 from ..parallel.profiles import TenantConfig
+from ..parallel.sink import record_to_payload
 from .journal import JournalState, RunJournal
 from .validation import RunRequest, parse_run_request
 
-__all__ = ["Job", "JobStore", "UnknownJob"]
+__all__ = [
+    "EventSpool",
+    "Job",
+    "JobStore",
+    "RecordsUnavailable",
+    "UnknownJob",
+]
 
 #: States a job can rest in; the last three are terminal.
 JOB_STATES = ("queued", "running", "done", "failed", "interrupted")
@@ -59,6 +78,85 @@ _TERMINAL = ("done", "failed", "interrupted")
 
 class UnknownJob(KeyError):
     """No job with that id; the HTTP layer answers 404."""
+
+
+class RecordsUnavailable(RuntimeError):
+    """The run exists but its records cannot be paged (not done yet,
+    journal-restored, or past the record-retention window); the HTTP
+    layer answers 409 with this message."""
+
+
+class EventSpool:
+    """Disk-backed history for ring-evicted event envelopes.
+
+    When a job's in-RAM event log reaches its cap, the oldest envelopes
+    move here — one NDJSON file per run, strictly append-only, written
+    under the store lock and flushed per append so followers reading
+    outside the lock always see complete lines.  Spool line *i* is the
+    run's absolute event position *i*: events only ever leave the ring
+    from the head, in order, so the file is always the dense prefix
+    ``[0, events_dropped)`` of the run's history and a follower's
+    catch-up read is a plain line scan, no index needed.
+    """
+
+    def __init__(self, directory: str, owned: bool = False) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        #: Whether close() should delete the directory (tempdir spools).
+        self._owned = owned
+        self._handles: Dict[str, object] = {}
+
+    def _path(self, run_id: str) -> Path:
+        return self._dir / f"{run_id}.ndjson"
+
+    def reset(self, run_id: str) -> None:
+        """Drop any stale spool for a (re)created run.
+
+        Recovery re-emits a restored run's history with fresh seqs; a
+        spool file left by the previous process would misalign line
+        numbers with the new log's absolute positions.
+        """
+        self.remove(run_id)
+
+    def append(self, run_id: str, envelope: dict) -> None:
+        handle = self._handles.get(run_id)
+        if handle is None:
+            handle = open(self._path(run_id), "a", encoding="utf-8")
+            self._handles[run_id] = handle
+        handle.write(json.dumps(envelope, separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def read(self, run_id: str, start: int, stop: int) -> List[dict]:
+        """Envelopes at absolute positions ``[start, stop)``."""
+        out: List[dict] = []
+        if start >= stop:
+            return out
+        try:
+            with open(self._path(run_id), "r", encoding="utf-8") as handle:
+                for position, line in enumerate(handle):
+                    if position >= stop:
+                        break
+                    if position >= start:
+                        out.append(json.loads(line))
+        except FileNotFoundError:
+            pass
+        return out
+
+    def remove(self, run_id: str) -> None:
+        handle = self._handles.pop(run_id, None)
+        if handle is not None:
+            handle.close()
+        try:
+            os.unlink(self._path(run_id))
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+        if self._owned:
+            shutil.rmtree(self._dir, ignore_errors=True)
 
 
 @dataclass
@@ -78,8 +176,23 @@ class Job:
     #: The deterministic merged report (``done`` jobs only).
     report: Optional[dict] = None
     error: Optional[str] = None
-    #: Append-only NDJSON event log (envelopes, in append order).
-    events: List[dict] = field(default_factory=list)
+    #: The tail of the event log still in RAM (envelopes, append order).
+    #: Bounded by the store's ``max_events_per_run``; older envelopes
+    #: live in the store's :class:`EventSpool`.
+    events: Deque[dict] = field(default_factory=deque)
+    #: How many envelopes have been evicted from the head of
+    #: :attr:`events` into the spool — i.e. the absolute position of
+    #: ``events[0]`` in the run's full history.
+    events_dropped: int = 0
+    #: Cell events appended so far (counter, not an event-log scan —
+    #: the scan would miss ring-evicted cell events).
+    cells_done: int = 0
+    #: The merged record sequence of a ``done`` run — an in-RAM list or
+    #: a disk-backed :class:`~repro.parallel.sink.SpilledRecords` —
+    #: paged by ``GET /v1/runs/<id>/records``.  ``None`` once the run
+    #: leaves the record-retention window or for journal-restored runs
+    #: (the journal persists reports, not merged record streams).
+    records: Optional[Sequence] = None
     #: The validated request echo (kept off ``request`` so restored
     #: jobs can answer snapshots without re-validating).
     summary: dict = field(default_factory=dict)
@@ -121,12 +234,23 @@ class JobStore:
         journal: Optional[RunJournal] = None,
         default_tenant_config: Optional[TenantConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        max_events_per_run: Optional[int] = 10_000,
+        max_record_runs: int = 8,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_finished < 1:
             raise ValueError("max_finished must be >= 1")
+        if max_events_per_run is not None and max_events_per_run < 1:
+            raise ValueError("max_events_per_run must be >= 1 (or None)")
+        if max_record_runs < 1:
+            raise ValueError("max_record_runs must be >= 1")
         self.max_finished = max_finished
+        self.max_events_per_run = max_events_per_run
+        #: Done runs whose merged records stay pageable; older runs drop
+        #: their record handles first (reports are kept for all retained
+        #: runs — records are the bulky part).
+        self.max_record_runs = max_record_runs
         self._cond = threading.Condition()
         self._jobs: Dict[str, Job] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -134,6 +258,18 @@ class JobStore:
         self._closed = False
         self._journal = journal
         self._default_tenant_config = default_tenant_config
+        self._spool: Optional[EventSpool] = None
+        if max_events_per_run is not None:
+            journal_path = getattr(journal, "path", None)
+            if journal_path is not None:
+                # Journal-adjacent spool: history files sit next to the
+                # durable log they complement.
+                self._spool = EventSpool(f"{journal_path}.events")
+            else:
+                self._spool = EventSpool(
+                    tempfile.mkdtemp(prefix="repro-serve-events-"),
+                    owned=True,
+                )
         #: The process-wide registry every run populates (engine cell /
         #: tenant / phase instruments, journal fsyncs, pool gauges) and
         #: ``GET /metrics`` renders.  Counts cover this process's
@@ -191,6 +327,10 @@ class JobStore:
                 next_seq=run.last_seq + 1,
             )
             self._jobs[run.run_id] = job
+            if self._spool is not None:
+                # Recovery re-emits history with fresh seqs; a spool
+                # file from the previous process would misalign.
+                self._spool.reset(run.run_id)
             self._append(
                 job, "queued", {"run_id": job.id, "request": job.summary}
             )
@@ -290,6 +430,10 @@ class JobStore:
                 cells=len(request.trace.tenants()),
             )
             self._jobs[job_id] = job
+            if self._spool is not None:
+                # A fresh journal in a reused directory can leave stale
+                # spool files whose line numbers belong to another run.
+                self._spool.reset(job_id)
             seq = self._append(job, "queued", {"run_id": job_id,
                                                "request": request.summary})
             self._evict()
@@ -301,7 +445,8 @@ class JobStore:
         return job_id
 
     def _evict(self) -> None:
-        """Drop the oldest terminal jobs beyond ``max_finished`` (lock
+        """Drop the oldest terminal jobs beyond ``max_finished``, and
+        the oldest *record handles* beyond ``max_record_runs`` (lock
         held; runs on every submission and terminal transition).
         Followers mid-stream keep their Job reference — an evicted job
         is terminal, so they drain its fixed event log and finish; only
@@ -312,7 +457,25 @@ class JobStore:
             if job.status in _TERMINAL
         ]
         for job_id in terminal[: max(0, len(terminal) - self.max_finished)]:
+            self._drop_records(self._jobs[job_id])
+            if self._spool is not None:
+                self._spool.remove(job_id)
             del self._jobs[job_id]
+        # Records are the bulky part of a done run: keep only the most
+        # recent handles pageable, release the rest (their reports stay).
+        holding = [
+            job for job in self._jobs.values() if job.records is not None
+        ]
+        for job in holding[: max(0, len(holding) - self.max_record_runs)]:
+            self._drop_records(job)
+
+    @staticmethod
+    def _drop_records(job: Job) -> None:
+        records = job.records
+        job.records = None
+        close = getattr(records, "close", None)
+        if close is not None:
+            close()
 
     def _get(self, job_id: str) -> Job:
         job = self._jobs.get(job_id)
@@ -328,9 +491,7 @@ class JobStore:
                 "id": job.id,
                 "status": job.status,
                 "request": dict(job.summary),
-                "cells_done": sum(
-                    1 for event in job.events if event["event"] == "cell"
-                ),
+                "cells_done": job.cells_done,
                 "cells": job.cells,
             }
             if job.recovered:
@@ -344,15 +505,100 @@ class JobStore:
 
     def list(self) -> List[dict]:
         """Submission-ordered one-line summaries (``GET /v1/runs``)."""
+        page, _cursor = self.list_page()
+        return page
+
+    @staticmethod
+    def _run_number(job_id: str) -> int:
+        """The monotonic submission number inside a ``run-NNNNNN`` id."""
+        try:
+            return int(job_id.rsplit("-", 1)[-1])
+        except ValueError:
+            return -1
+
+    def list_page(
+        self,
+        cursor: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[dict], Optional[str]]:
+        """One page of the submission-ordered listing.
+
+        ``cursor`` is the last job id of the previous page (an opaque
+        token to clients); the page starts strictly after it.  The
+        cursor is stable under eviction and new submissions: ids are
+        monotonic in submission order, so already-seen ids can only
+        disappear, never reorder — a paging client sees every job that
+        stays retained for the duration of the walk, each exactly once.
+        Returns ``(page, next_cursor)``; ``next_cursor`` is ``None`` on
+        the last page.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        floor = self._run_number(cursor) if cursor is not None else -1
         with self._cond:
-            return [
+            rows = [
                 {
                     "id": job.id,
                     "status": job.status,
                     "url": f"/v1/runs/{job.id}",
                 }
                 for job in self._jobs.values()
+                if self._run_number(job.id) > floor
             ]
+        if limit is None or len(rows) <= limit:
+            return rows, None
+        page = rows[:limit]
+        return page, page[-1]["id"]
+
+    def records_page(
+        self, job_id: str, cursor: int = 0, limit: int = 1000
+    ) -> dict:
+        """One page of a done run's merged records
+        (``GET /v1/runs/<id>/records``).
+
+        ``cursor`` is the absolute record index the page starts at (the
+        canonical merge order is deterministic, so indexes are stable);
+        the response's ``next_cursor`` is ``None`` on the last page.
+        Only ``limit`` records are serialized per request — the backing
+        store is sliced (in-RAM list) or seeked (disk spill file), never
+        materialized whole.
+        """
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        with self._cond:
+            job = self._get(job_id)
+            status = job.status
+            records = job.records
+        if status != "done":
+            raise RecordsUnavailable(
+                f"run {job_id} is {status}; records are available once "
+                f"it is done"
+            )
+        if records is None:
+            raise RecordsUnavailable(
+                f"run {job_id} no longer retains its merged records "
+                f"(journal-restored or past the record-retention "
+                f"window); resubmit the run to page them"
+            )
+        total = len(records)
+        start = min(cursor, total)
+        stop = min(start + limit, total)
+        iter_payloads = getattr(records, "iter_payloads", None)
+        if iter_payloads is not None:
+            page = list(iter_payloads(start, stop))
+        else:
+            page = [
+                record_to_payload(record) for record in records[start:stop]
+            ]
+        return {
+            "run": job_id,
+            "total": total,
+            "cursor": start,
+            "records": page,
+            "next_cursor": stop if stop < total else None,
+        }
 
     def counts(self) -> Dict[str, int]:
         """Jobs per state, every state present (``GET /healthz``)."""
@@ -395,23 +641,66 @@ class JobStore:
         ``None`` as a ``: keepalive`` comment line, so a follower of a
         quiet run can distinguish "alive but idle" from a dead
         connection and time out cleanly.
+
+        ``index`` below is an *absolute* position in the run's event
+        history.  History that has left the in-RAM ring is replayed
+        from the disk spool (outside the lock — spool files are
+        append-only and flushed per line); the ring serves the live
+        tail.  Either way the yielded sequence is gap-free and
+        seq-ordered.
         """
         with self._cond:
             job = self._get(job_id)
         index = 0
         last = time.monotonic()
         while True:
+            batch: List[dict] = []
+            spool_to = None
             with self._cond:
-                while len(job.events) <= index and job.status not in _TERMINAL:
-                    self._cond.wait(poll_s)
-                    if (
-                        keepalive_s is not None
-                        and time.monotonic() - last >= keepalive_s
+                if index >= job.events_dropped:
+                    while (
+                        job.events_dropped + len(job.events) <= index
+                        and job.status not in _TERMINAL
                     ):
-                        break
-                batch = job.events[index:]
+                        self._cond.wait(poll_s)
+                        if (
+                            keepalive_s is not None
+                            and time.monotonic() - last >= keepalive_s
+                        ):
+                            break
+                    dropped = job.events_dropped
+                    if index >= dropped:
+                        batch = list(
+                            islice(job.events, index - dropped, None)
+                        )
+                        index += len(batch)
+                    else:
+                        # The ring advanced past us while we waited.
+                        spool_to = dropped
+                else:
+                    spool_to = job.events_dropped
+                finished = (
+                    job.status in _TERMINAL
+                    and spool_to is None
+                    and index >= job.events_dropped + len(job.events)
+                )
+            if spool_to is not None:
+                # Catch up from the spool in bounded chunks so one lap
+                # never holds a huge history list in memory.
+                stop = min(spool_to, index + 1000)
+                batch = (
+                    self._spool.read(job.id, index, stop)
+                    if self._spool is not None
+                    else []
+                )
+                if not batch:
+                    # No spool (or a vanished file): the history below
+                    # the ring is gone; resume at the ring start.  The
+                    # suffix stays seq-ordered, so client-side
+                    # monotonicity checks still hold.
+                    index = spool_to
+                    continue
                 index += len(batch)
-                finished = job.status in _TERMINAL and index >= len(job.events)
             if batch:
                 yield from batch
                 last = time.monotonic()
@@ -438,6 +727,19 @@ class JobStore:
         job.events.append(
             validate_event(event_envelope(kind, body, seq=seq))
         )
+        if kind == "cell":
+            job.cells_done += 1
+        cap = self.max_events_per_run
+        if cap is not None:
+            # Ring eviction: move the oldest envelopes to the disk
+            # spool.  The newest event — which is the terminal one on
+            # any finished run — is never evicted, so the follower
+            # termination guarantee is structural.
+            while len(job.events) > cap:
+                evicted = job.events.popleft()
+                if self._spool is not None:
+                    self._spool.append(job.id, evicted)
+                job.events_dropped += 1
         self._cond.notify_all()
         return seq
 
@@ -611,6 +913,10 @@ class JobStore:
                     seq += 1
                 job.report = report
                 job.status = "done"
+                # Keep the merged record handle (list or disk-backed
+                # SpilledRecords) pageable via /records until the run
+                # leaves the record-retention window.
+                job.records = result.records
                 job.preloaded = None
                 self._append(
                     job, "report", {"run_id": job.id, "report": report},
@@ -685,3 +991,5 @@ class JobStore:
         self._interrupt(("queued", "running"))
         if self._journal is not None:
             self._journal.close()
+        if self._spool is not None:
+            self._spool.close()

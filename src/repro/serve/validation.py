@@ -47,6 +47,8 @@ _REQUEST_KEYS = {
     "tenant_config",
     "workers",
     "stream",
+    "record_sink",
+    "max_records_in_memory",
 }
 
 #: Keyword arguments a ``synth`` body may forward to
@@ -245,6 +247,19 @@ def parse_run_request(
     stream = payload.get("stream", True)
     if not isinstance(stream, bool):
         raise _type_error("stream", "a boolean", stream)
+    sink_kind = payload.get("record_sink", "memory")
+    if not isinstance(sink_kind, str):
+        raise _type_error("record_sink", "a string", sink_kind)
+    if sink_kind not in ("memory", "spill"):
+        raise BadRequest(
+            f"'record_sink' must be 'memory' or 'spill', got {sink_kind!r}"
+        )
+    max_records = _opt_int(payload, "max_records_in_memory", minimum=1)
+    if max_records is not None and sink_kind != "spill":
+        raise BadRequest(
+            "'max_records_in_memory' only applies with "
+            "'record_sink': 'spill'"
+        )
 
     trace = _parse_trace(payload)
     # The engine would reject these too, but only after the job was
@@ -257,6 +272,25 @@ def parse_run_request(
     for name in trace.apps():
         _check_app(name)
 
+    record_sink = None
+    if sink_kind == "spill":
+        from ..parallel.sink import (
+            DEFAULT_MAX_RECORDS_IN_MEMORY,
+            RecordSinkSpec,
+        )
+
+        # The spill directory is always server-chosen scratch (the
+        # system temp dir): clients pick the *policy*, never a path on
+        # the server's filesystem.
+        record_sink = RecordSinkSpec(
+            kind="spill",
+            max_records_in_memory=(
+                max_records
+                if max_records is not None
+                else DEFAULT_MAX_RECORDS_IN_MEMORY
+            ),
+        )
+
     spec = ReplaySpec(
         system_name=system,
         default_app=app,
@@ -265,6 +299,7 @@ def parse_run_request(
         timeout_s=timeout_s if timeout_s is not None else _DEFAULT_TIMEOUT_S,
         input_bytes=input_bytes,
         fanout=fanout,
+        record_sink=record_sink,
     )
 
     inline_config = payload.get("tenant_config")
@@ -294,6 +329,7 @@ def parse_run_request(
         "workers": workers,
         "stream": stream,
         "tenant_config": config is not None,
+        "record_sink": sink_kind,
     }
     return RunRequest(
         trace=trace, spec=spec, workers=workers, stream=stream,

@@ -3,30 +3,38 @@
 
 Runs the benches defined in ``benchmarks/test_bench_replay.py`` (the
 same code the pytest benchmarks execute), prints each point as a
-``BENCH {json}`` line, and appends one run entry — throughput,
-skew-stealing, and a per-engine peak-RSS comparison — to the committed
+``BENCH {json}`` line, and appends one run entry to the committed
 trajectory file::
 
     PYTHONPATH=src python tools/bench_replay.py                 # ~900-event run
     PYTHONPATH=src python tools/bench_replay.py --scale 114     # ~100k-event run
+    PYTHONPATH=src python tools/bench_replay.py --points spill,multicore
     PYTHONPATH=src python tools/bench_replay.py --output /tmp/b.json
 
-The memory point replays the skewed trace once per engine in a *fresh
-subprocess* so each engine's ``ru_maxrss`` high-water mark is measured
-in isolation (within one process the mark is monotonic and the second
-engine could never measure below the first).
+Points: ``throughput`` (serial vs parallel), ``skew`` (static-batched
+vs work-stealing on the skewed trace), ``memory`` (per-engine peak
+RSS), ``multicore`` (shards×workers sweep, both engines), ``spill``
+(streamed-engine RSS with the in-memory vs disk-spill record sink —
+fails if spill does not win at >= 50k events).
 
-CI runs this at reduced scale and uploads the result as an artifact;
-full-scale runs are recorded manually and committed so the perf
-trajectory of the engine is diffable across commits.
+Every engine-vs-engine measurement replays in a *fresh subprocess*
+(the hidden ``--engine`` mode below) so wall clock and the monotonic
+``ru_maxrss`` high-water mark are isolated per engine — and so neither
+engine's forked workers inherit the other's heap.  Report identity is
+asserted across processes via the canonical rendering's SHA-256.
+
+CI runs this at reduced scale and uploads the result as an artifact
+(plus the full-scale spill gate); full-scale runs are recorded
+manually and committed so the perf trajectory of the engine is
+diffable across commits.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import importlib.util
 import json
-import subprocess
 import sys
 import time
 from pathlib import Path
@@ -44,34 +52,39 @@ _spec.loader.exec_module(bench)
 DEFAULT_OUTPUT = ROOT / "BENCH_replay.json"
 
 
-def _engine_subprocess(engine: str, scale: float, workers: int) -> dict:
-    """Run one engine over the skewed trace in a fresh process and
-    report its isolated wall clock and peak RSS."""
-    out = subprocess.run(
-        [
-            sys.executable, str(Path(__file__).resolve()),
-            "--engine", engine, "--scale", str(scale),
-            "--workers", str(workers),
-        ],
-        capture_output=True, text=True, check=True,
+def _run_engine(
+    engine: str, scale: float, workers: int, shards: int, record_sink: str
+) -> dict:
+    """The hidden ``--engine`` subprocess body: one isolated replay."""
+    from repro.metrics.report import render_json
+
+    sink = None
+    if record_sink == "spill":
+        from repro.parallel.sink import RecordSinkSpec
+
+        sink = RecordSinkSpec(kind="spill")
+    result = bench.replay_skewed(
+        engine == "streamed", scale, workers, shards, record_sink=sink
     )
-    return json.loads(out.stdout.strip().splitlines()[-1])
-
-
-def _run_engine(engine: str, scale: float, workers: int) -> dict:
-    result = bench.replay_skewed(engine == "streamed", scale, workers)
+    report = render_json(result.to_dict())
     return {
         "engine": engine,
+        "record_sink": record_sink,
         "events": result.offered,
         "wall_s": round(result.wall_s, 4),
         "max_rss_mb": round(result.rss_mb, 1),
+        # Identity across subprocess boundaries: the canonical report
+        # rendering hashed, compared by the parent per comparison point.
+        "report_sha256": hashlib.sha256(
+            report.encode("utf-8")
+        ).hexdigest(),
     }
 
 
 def memory_point(scale: float, workers: int) -> dict:
     """Per-engine peak RSS over the skewed trace, isolated per process."""
-    streamed = _engine_subprocess("streamed", scale, workers)
-    batched = _engine_subprocess("batched", scale, workers)
+    streamed = bench.engine_subprocess("streamed", scale, workers)
+    batched = bench.engine_subprocess("batched", scale, workers)
     return {
         "bench": "replay_memory",
         "events": streamed["events"],
@@ -80,6 +93,7 @@ def memory_point(scale: float, workers: int) -> dict:
         "batched_wall_s": batched["wall_s"],
         "streamed_max_rss_mb": streamed["max_rss_mb"],
         "batched_max_rss_mb": batched["max_rss_mb"],
+        "identical": streamed["report_sha256"] == batched["report_sha256"],
     }
 
 
@@ -96,19 +110,27 @@ def main(argv=None) -> int:
                         help="trajectory file to append the run to "
                         "(default: BENCH_replay.json at the repo root)")
     parser.add_argument("--points", default="throughput,skew,memory",
-                        help="comma-separated subset of "
-                        "throughput,skew,memory to record (full-scale "
-                        "runs usually record skew/memory only)")
+                        help="comma-separated subset of throughput,skew,"
+                        "memory,multicore,spill to record (full-scale "
+                        "runs usually record skew/memory/spill only)")
     parser.add_argument("--engine", choices=["streamed", "batched"],
+                        help=argparse.SUPPRESS)  # internal subprocess mode
+    parser.add_argument("--shards", type=int, default=bench.SHARDS,
+                        help=argparse.SUPPRESS)  # internal subprocess mode
+    parser.add_argument("--record-sink", choices=["memory", "spill"],
+                        default="memory",
                         help=argparse.SUPPRESS)  # internal subprocess mode
     args = parser.parse_args(argv)
 
     if args.engine:
-        print(json.dumps(_run_engine(args.engine, args.scale, args.workers)))
+        print(json.dumps(_run_engine(
+            args.engine, args.scale, args.workers, args.shards,
+            args.record_sink,
+        )))
         return 0
 
     selected = {name.strip() for name in args.points.split(",") if name.strip()}
-    unknown = selected - {"throughput", "skew", "memory"}
+    unknown = selected - {"throughput", "skew", "memory", "multicore", "spill"}
     if unknown:
         parser.error(f"unknown --points: {sorted(unknown)}")
     if not selected:
@@ -120,6 +142,10 @@ def main(argv=None) -> int:
         points.append(bench.skew_point(args.scale, args.workers))
     if "memory" in selected:
         points.append(memory_point(args.scale, args.workers))
+    if "multicore" in selected:
+        points.append(bench.multicore_point(args.scale))
+    if "spill" in selected:
+        points.append(bench.spill_point(args.scale, args.workers))
     for point in points:
         print("BENCH " + json.dumps(point, sort_keys=True))
 
