@@ -251,7 +251,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         else _run_report_table(payload_dict)
     )
     _emit(text, args.output)
-    return 0
+    return _report_exit_code(payload_dict)
 
 
 def _replay_spec_from_args(args: argparse.Namespace):
@@ -305,7 +305,7 @@ def _run_heterogeneous_trace(args: argparse.Namespace, trace) -> int:
     else:
         text = _profile_table(spec, trace) + "\n\n" + _run_report_table(payload)
     _emit(text, args.output)
-    return 0
+    return _report_exit_code(payload)
 
 
 def _report_table(title: str, identity_rows: List[List], report: dict) -> str:
@@ -371,8 +371,52 @@ def _load_trace(path: str) -> InvocationTrace:
         raise CliError(f"bad trace file {path}: {exc}") from None
 
 
+def _report_exit_code(payload: dict) -> int:
+    """Exit code from a finished report: 3 degraded, 1 failed, 0 clean.
+
+    Degraded means the replay completed but skipped cells
+    (``replay.failed_cells`` non-empty under ``--on-cell-failure
+    skip``); failed means individual requests inside the run errored
+    (``failed > 0``).  Degraded outranks failed: a partial report is
+    the stronger signal for scripts gating on the exit code.
+    """
+    if payload.get("replay", {}).get("failed_cells"):
+        return 3
+    if payload.get("failed", 0) > 0:
+        return 1
+    return 0
+
+
+def _parse_fault(text: str):
+    """Parse one ``--fault KIND:CELL[:ATTEMPT[:DELAY_S]]`` spec."""
+    from .parallel import FaultSpec
+
+    parts = text.split(":")
+    if not 2 <= len(parts) <= 4:
+        raise CliError(
+            f"fault spec {text!r}: expected KIND:CELL[:ATTEMPT[:DELAY_S]]"
+        )
+    kind, cell = parts[0], parts[1]
+    try:
+        attempt = int(parts[2]) if len(parts) >= 3 else 1
+        delay_s = float(parts[3]) if len(parts) >= 4 else 0.0
+    except ValueError as exc:
+        raise CliError(f"fault spec {text!r}: {exc}") from None
+    fault = FaultSpec(kind=kind, cell=cell, attempt=attempt, delay_s=delay_s)
+    try:
+        fault.validate()
+    except ValueError as exc:
+        raise CliError(f"fault spec {text!r}: {exc}") from None
+    return fault
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
-    from .parallel import get_shard_policy, run_parallel_replay
+    from .parallel import (
+        HostFaultPlan,
+        RetryPolicy,
+        get_shard_policy,
+        run_parallel_replay,
+    )
     from .systems.placement import get_policy as get_placement_policy
 
     trace = _load_trace(args.trace)
@@ -388,6 +432,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
         raise CliError("--shards must be >= 1")
     if args.workers is not None and args.workers < 1:
         raise CliError("--workers must be >= 1")
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts, deadline_s=args.deadline_s
+    )
+    try:
+        retry.validate()
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    fault_plan = None
+    if args.fault:
+        fault_plan = HostFaultPlan(
+            faults=tuple(_parse_fault(text) for text in args.fault)
+        )
     spec = _replay_spec_from_args(args)
     if args.tenant_config:
         if policy.name != "tenant":
@@ -404,7 +460,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
         spec = spec.with_tenant_config(config)
     result = run_parallel_replay(
         trace, spec, shards=args.shards, workers=args.workers, policy=policy,
-        stream=args.stream,
+        stream=args.stream, retry=retry, fault_plan=fault_plan,
+        on_cell_failure=args.on_cell_failure,
     )
 
     payload = result.to_dict()
@@ -431,7 +488,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             # auditable at a glance.
             text = _profile_table(spec, trace) + "\n\n" + text
     _emit(text, args.output)
-    return 0
+    return _report_exit_code(payload)
 
 
 def _replay_report_table(report: dict) -> str:
@@ -558,6 +615,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--workers must be >= 1")
     if args.max_events_per_run is not None and args.max_events_per_run < 1:
         raise CliError("--max-events-per-run must be >= 1")
+    if args.max_queued is not None and args.max_queued < 1:
+        raise CliError("--max-queued must be >= 1")
     default_config = None
     if args.tenant_config:
         # Same fail-fast gate as replay: a bad profile file kills the
@@ -574,6 +633,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             journal=args.journal,
             dashboard=not args.no_dashboard,
             max_events_per_run=args.max_events_per_run,
+            max_queued=args.max_queued,
         )
     except OSError as exc:
         raise CliError(
@@ -718,6 +778,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="FOREACH width for events carrying none")
     replay.add_argument("--timeout-s", type=float, default=60.0,
                         help="per-request timeout (default: 60)")
+    replay.add_argument("--max-attempts", type=int, default=3,
+                        help="replays of one cell before it counts as "
+                        "failed; worker crashes, deadlines, and cell "
+                        "errors all consume attempts (default: 3)")
+    replay.add_argument("--deadline-s", type=float, default=None,
+                        help="wall-clock budget per cell attempt; an "
+                        "attempt over budget fails as 'timeout' and "
+                        "retries (default: none)")
+    replay.add_argument("--on-cell-failure", choices=["fail", "skip"],
+                        default="fail",
+                        help="after attempts are exhausted: 'fail' aborts "
+                        "the replay, 'skip' drops the cell and reports it "
+                        "under replay.failed_cells — exit code 3 "
+                        "(default: fail)")
+    replay.add_argument("--fault", action="append", default=None,
+                        metavar="KIND:CELL[:ATTEMPT[:DELAY_S]]",
+                        help="inject a host fault for chaos testing: kill "
+                        "(SIGKILL the worker mid-cell), delay (sleep "
+                        "DELAY_S first), or poison (raise); ATTEMPT picks "
+                        "which attempt fires (1-based; 0 = every "
+                        "attempt).  Repeatable (see docs/robustness.md)")
     replay.add_argument("--format", choices=["table", "json"],
                         default="table", help="report format (default: table)")
     replay.add_argument("--output", default=None,
@@ -801,6 +882,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-RAM event-log cap per run (default "
                        "10000); older events spill to a per-run disk "
                        "spool that history replays come from")
+    serve.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="admission control: reject new runs with "
+                       "429 + Retry-After once N submissions are queued "
+                       "(default: unbounded; see docs/robustness.md)")
     serve.add_argument("--no-dashboard", action="store_true",
                        help="disable GET /dashboard (the live telemetry "
                        "page); the API and GET /metrics stay up "
@@ -811,6 +896,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .parallel import CellFailedError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if not getattr(args, "func", None):
@@ -821,6 +908,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except CellFailedError as exc:
+        # A cell exhausted its retries under --on-cell-failure fail:
+        # a run outcome (exit 1, like failed requests), not a usage
+        # error — and never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; exit quietly.
         import os

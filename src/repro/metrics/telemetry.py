@@ -56,8 +56,10 @@ __all__ = [
 #: consumers detect schema changes without sniffing field sets.
 #: History: 1 = the ad-hoc PR-5 envelope (cell/report/error only);
 #: 2 = this module: typed progress/counter/gauge events, per-cell
-#: latency stats, seq monotonic across journal resume.
-SCHEMA_VERSION = 2
+#: latency stats, seq monotonic across journal resume;
+#: 3 = the ``degraded`` terminal kind (a run that finished with a
+#: non-empty ``failed_cells`` section under ``on_cell_failure=skip``).
+SCHEMA_VERSION = 3
 
 
 class SchemaError(ValueError):
@@ -145,6 +147,13 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[Tuple[str, ...], bool]]] = {
     },
     # terminal payloads
     "report": {"run_id": (_STR, True), "report": (_DICT, True)},
+    # terminal for a run that completed but skipped failed cells: the
+    # report's replay.failed_cells is non-empty (docs/robustness.md)
+    "degraded": {
+        "run_id": (_STR, True),
+        "report": (_DICT, True),
+        "failed_cells": (_INT, True),
+    },
     "error": {"run_id": (_STR, True), "message": (_STR, True)},
 }
 
@@ -294,6 +303,17 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "counter",
         "Cells pulled by idle workers beyond the initial scheduling "
         "window (work stealing)"),
+    "repro_cell_retries_total": (
+        "counter",
+        "Cell attempts re-queued after a failed attempt (retry policy)"),
+    "repro_worker_crashes_total": (
+        "counter",
+        "Worker-process deaths the engine recovered from by rebuilding "
+        "the pool and resubmitting in-flight cells"),
+    "repro_runs_rejected_total": (
+        "counter",
+        "Run submissions rejected by admission control, labeled by "
+        "reason (queue_full or tenant_quota)"),
     "repro_records_spilled_total": (
         "counter",
         "Request records written to disk-spill run files by the "

@@ -35,13 +35,33 @@ from .profiles import (
     TenantProfileError,
     validated_tenant_config,
 )
+from .resilience import (
+    FAILURE_KINDS,
+    CellDeadlineExceeded,
+    CellFailedError,
+    CellFailure,
+    FaultSpec,
+    HostFaultPlan,
+    PoisonError,
+    RetryPolicy,
+    WorkerCrashError,
+    classify_failure,
+)
 from .spec import ReplaySpec, ResolvedProfile
 
 __all__ = [
+    "CellDeadlineExceeded",
+    "CellFailedError",
+    "CellFailure",
     "CellResult",
+    "FAILURE_KINDS",
+    "FaultSpec",
+    "HostFaultPlan",
     "ParallelReplayResult",
+    "PoisonError",
     "ReplaySpec",
     "ResolvedProfile",
+    "RetryPolicy",
     "ShardPolicy",
     "ShardResult",
     "StreamingMerge",
@@ -50,6 +70,8 @@ __all__ = [
     "TenantProfileError",
     "TenantShardPolicy",
     "TimeSliceShardPolicy",
+    "WorkerCrashError",
+    "classify_failure",
     "get_shard_policy",
     "max_rss_mb",
     "merge_shard_results",

@@ -40,6 +40,25 @@ of shard count, worker count, and completion order, the merged report
 is bit-identical across ``--shards``/``--workers``/``--stream``
 settings — parallelism and scheduling never change results, only
 wall-clock time and memory.
+
+**Resilience** (see :mod:`repro.parallel.resilience` and
+``docs/robustness.md``): every cell attempt is byte-identical to every
+other attempt of the same cell — ``cell_seed`` is a pure function of
+(spec, cell) — so failed attempts are simply re-derived and re-run.
+Both engines survive worker death: a ``BrokenProcessPool`` is caught,
+the pool is rebuilt, and the in-flight cells (streamed) or shard
+payloads (batched) are resubmitted at the next attempt number.  Cells
+retry per a deterministic :class:`~repro.parallel.resilience.\
+RetryPolicy` (seeded-jitter backoff, optional per-attempt ``SIGALRM``
+deadline); a cell that exhausts its attempts either aborts the run
+(``on_cell_failure="fail"``, the default — a
+:class:`~repro.parallel.resilience.CellFailedError`) or degrades it
+(``"skip"`` — the merged report gains a deterministic
+``replay.failed_cells`` section and the surviving cells still merge
+canonically).  An optional
+:class:`~repro.parallel.resilience.HostFaultPlan` injects
+kill/delay/poison faults deterministically for tests and the chaos
+harness.
 """
 
 from __future__ import annotations
@@ -47,7 +66,9 @@ from __future__ import annotations
 import gc
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from itertools import islice
 from dataclasses import dataclass, field
@@ -58,6 +79,14 @@ from ..metrics.latency import LatencySummary, RequestRecord
 from ..metrics.telemetry import MetricsRegistry
 from ..metrics.usage import UsageSummary
 from .policy import ShardPolicy, get_shard_policy, stable_hash
+from .resilience import (
+    CellFailedError,
+    CellFailure,
+    HostFaultPlan,
+    RetryPolicy,
+    cell_deadline,
+    classify_failure,
+)
 from .sink import (
     RecordAggregate,
     make_record_sink,
@@ -77,6 +106,9 @@ __all__ = [
     "replay_cell",
     "run_parallel_replay",
 ]
+
+#: Valid ``on_cell_failure`` modes: abort the run, or degrade the report.
+ON_CELL_FAILURE_MODES = ("fail", "skip")
 
 #: One cell: ``(cell key, sub-trace)``.
 Cell = Tuple[str, InvocationTrace]
@@ -160,6 +192,11 @@ class ShardResult:
     index: int
     cells: List[CellResult]
     wall_s: float
+    #: Cells that exhausted their retry budget inside the worker
+    #: (``on_cell_failure="skip"`` only — ``"fail"`` raises instead).
+    failures: List[CellFailure] = field(default_factory=list)
+    #: In-worker retry attempts consumed beyond each cell's first.
+    retries: int = 0
 
 
 @dataclass
@@ -202,6 +239,12 @@ class ParallelReplayResult(TraceRunResult):
     #: (trace, spec) alone, so including them in reports stays
     #: shard-invariant.
     tenant_profile_tags: Dict[str, dict] = field(default_factory=dict)
+    #: Cells that terminally failed under ``on_cell_failure="skip"``.
+    #: Deterministic (canonical messages, no PIDs/timings); rendered
+    #: into the report's ``replay.failed_cells`` section sorted by key,
+    #: and only when non-empty — a run that recovered from every fault
+    #: reports byte-identically to a fault-free run.
+    failed_cells: List[CellFailure] = field(default_factory=list)
     #: Streaming aggregate the record sink folded in canonical merge
     #: order.  When present, ``to_dict`` renders the record-derived
     #: report sections from it instead of re-scanning :attr:`records` —
@@ -239,6 +282,13 @@ class ParallelReplayResult(TraceRunResult):
             "policy": self.policy_name,
             "cells": self.cell_count,
         }
+        if self.failed_cells:
+            payload["replay"]["failed_cells"] = [
+                failure.to_payload()
+                for failure in sorted(
+                    self.failed_cells, key=lambda failure: failure.key
+                )
+            ]
         if self.tenant_profile_tags:
             payload["replay"]["profiles"] = {
                 tenant: dict(tag)
@@ -328,13 +378,92 @@ def replay_cell(spec: ReplaySpec, key: str, cell_trace: InvocationTrace) -> Cell
     )
 
 
-def _replay_shard(payload: Tuple[ReplaySpec, int, List[Cell]]) -> ShardResult:
-    """Batched worker entry point: replay one shard's cells back to back."""
-    spec, index, cells = payload
+def _failure_message(exc: BaseException) -> str:
+    """A deterministic failure description for degraded reports.
+
+    Worker crashes collapse to fixed text — ``BrokenProcessPool``
+    messages vary by Python version and carry no replayable detail —
+    while everything else keeps its (deterministic) exception text.
+    """
+    if classify_failure(exc) == "worker-crash":
+        return "worker process died mid-cell"
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _replay_cell_task(
+    spec: ReplaySpec,
+    key: str,
+    cell_trace: InvocationTrace,
+    attempt: int,
+    retry: RetryPolicy,
+    faults: Optional[HostFaultPlan],
+) -> CellResult:
+    """One *attempt* at one cell — the resilient worker entry point.
+
+    Retry backoff sleeps here, on the worker side, so the parent's fold
+    loop never blocks behind a backing-off cell; the deadline timer and
+    any injected faults wrap the replay itself.  Every attempt replays
+    byte-identically (``cell_seed`` ignores the attempt number), which
+    is what makes retry-after-crash safe.
+    """
+    if attempt > 1:
+        time.sleep(retry.backoff_s(spec.seed, key, attempt))
+    with cell_deadline(key, retry.deadline_s):
+        if faults is not None:
+            faults.apply(key, attempt)
+        return replay_cell(spec, key, cell_trace)
+
+
+def _replay_shard(
+    payload: Tuple[
+        ReplaySpec, int, List[Cell], int, RetryPolicy,
+        Optional[HostFaultPlan], str,
+    ],
+) -> ShardResult:
+    """Batched worker entry point: replay one shard's cells back to back.
+
+    Retries happen *inside* the worker (an app-level failure costs one
+    cell re-run, not a shard resubmission); only worker death escalates
+    to the parent, which resubmits the whole payload at
+    ``attempt_base + 1`` — the completed cells died with the worker, and
+    re-running them is byte-identical anyway.
+    """
+    spec, index, cells, attempt_base, retry, faults, on_cell_failure = payload
     start = time.perf_counter()
-    results = [replay_cell(spec, key, cell_trace) for key, cell_trace in cells]
+    results: List[CellResult] = []
+    failures: List[CellFailure] = []
+    retries = 0
+    for key, cell_trace in cells:
+        attempt = attempt_base
+        while True:
+            try:
+                results.append(
+                    _replay_cell_task(
+                        spec, key, cell_trace, attempt, retry, faults
+                    )
+                )
+                break
+            except Exception as exc:
+                if attempt < retry.max_attempts:
+                    attempt += 1
+                    retries += 1
+                    continue
+                failure = CellFailure(
+                    key=key,
+                    kind=classify_failure(exc),
+                    attempts=attempt,
+                    message=_failure_message(exc),
+                )
+                if on_cell_failure == "fail":
+                    raise CellFailedError(failure) from exc
+                failures.append(failure)
+                break
     return ShardResult(
-        index=index, cells=results, wall_s=time.perf_counter() - start
+        index=index,
+        cells=results,
+        wall_s=time.perf_counter() - start,
+        failures=failures,
+        retries=retries,
     )
 
 
@@ -538,12 +667,20 @@ def _frozen_gc():
         gc.unfreeze()
 
 
+#: One streamed task: ``(cell key, sub-trace, attempt number)``.
+_CellTask = Tuple[str, InvocationTrace, int]
+
+
 def _stream_cells(
     cells: List[Cell],
     spec: ReplaySpec,
     workers: int,
     fold: Callable[[CellResult], None],
     policy: ShardPolicy,
+    retry: RetryPolicy,
+    fault_plan: Optional[HostFaultPlan],
+    on_cell_failure: str,
+    failures: List[CellFailure],
     metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     """Work-stealing fan-out: one task per cell, folded as completed.
@@ -557,31 +694,243 @@ def _stream_cells(
     submitting everything up front, where every completed-but-unfolded
     future would hold its unpickled records — no more than the window's
     worth of cell results ever exists outside the merge.
+
+    The loop survives worker death: when any future raises
+    ``BrokenProcessPool``, every in-flight task is re-derived from the
+    future→task map, the dead pool is replaced, and the tasks requeue at
+    their next attempt number — results that completed before the crash
+    have already folded, and re-running the rest is byte-identical.
+    Other exceptions charge only their own cell, which retries per
+    ``retry`` until its budget runs out and then fails the run
+    (``on_cell_failure="fail"``) or lands in ``failures`` (``"skip"``).
     """
     ordered = sorted(
         cells, key=lambda cell: (-policy.cell_cost(cell[1]), cell[0])
     )
-    queue = iter(ordered)
+    todo: "deque[_CellTask]" = deque(
+        (key, cell_trace, 1) for key, cell_trace in ordered
+    )
     window = 2 * workers
-    with _frozen_gc(), ProcessPoolExecutor(
-        max_workers=min(workers, len(ordered))
-    ) as pool:
-        pending = {
-            pool.submit(replay_cell, spec, key, cell_trace)
-            for key, cell_trace in islice(queue, window)
-        }
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                # Refill the window before folding so the pool stays fed.
-                # Every refill is a steal: a worker that finished early
-                # claimed a cell beyond the initial LPT window instead
-                # of idling behind a skewed tenant.
-                for key, cell_trace in islice(queue, 1):
-                    pending.add(pool.submit(replay_cell, spec, key, cell_trace))
-                    if metrics is not None:
+    initial_fill = min(window, len(ordered))
+    submitted = 0
+    max_workers = min(workers, len(ordered))
+
+    def handle_failure(task: _CellTask, exc: BaseException) -> None:
+        key, cell_trace, attempt = task
+        if attempt < retry.max_attempts:
+            todo.append((key, cell_trace, attempt + 1))
+            if metrics is not None:
+                metrics.counter("repro_cell_retries_total").inc()
+            return
+        failure = CellFailure(
+            key=key,
+            kind=classify_failure(exc),
+            attempts=attempt,
+            message=_failure_message(exc),
+        )
+        if on_cell_failure == "fail":
+            raise CellFailedError(failure) from exc
+        failures.append(failure)
+
+    with _frozen_gc():
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        inflight: Dict[object, _CellTask] = {}
+        try:
+            while todo or inflight:
+                while todo and len(inflight) < window:
+                    task = todo.popleft()
+                    key, cell_trace, attempt = task
+                    try:
+                        future = pool.submit(
+                            _replay_cell_task,
+                            spec, key, cell_trace, attempt, retry, fault_plan,
+                        )
+                    except BrokenProcessPool:
+                        # The pool died between completions.  Requeue the
+                        # task unconsumed; if futures are in flight the
+                        # wait() below observes the crash and charges
+                        # them, otherwise just replace the pool.
+                        todo.appendleft(task)
+                        if inflight:
+                            break
+                        # wait=True is cheap on a broken pool (its
+                        # workers are gone) and retires the management
+                        # thread, so no dead executor machinery lingers
+                        # to fire at interpreter exit.
+                        pool.shutdown(wait=True)
+                        pool = ProcessPoolExecutor(max_workers=max_workers)
+                        continue
+                    inflight[future] = task
+                    submitted += 1
+                    # Every submission past the initial window fill is a
+                    # steal: a worker that finished early claimed a cell
+                    # beyond the LPT window instead of idling behind a
+                    # skewed tenant.
+                    if submitted > initial_fill and metrics is not None:
                         metrics.counter("repro_cells_stolen_total").inc()
-                fold(future.result())
+                if not inflight:
+                    continue
+                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                crashed: List[_CellTask] = []
+                broken: Optional[BaseException] = None
+                for future in done:
+                    task = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        # Fold results that survived before charging any
+                        # crash — a completed-but-unfolded result is
+                        # still good even when a sibling died.
+                        fold(future.result())
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = exc
+                        crashed.append(task)
+                    else:
+                        handle_failure(task, exc)
+                if broken is not None:
+                    crashed.extend(inflight.values())
+                    inflight.clear()
+                    if metrics is not None:
+                        metrics.counter("repro_worker_crashes_total").inc()
+                    pool.shutdown(wait=True)
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                    for task in crashed:
+                        handle_failure(task, broken)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _serial_stream(
+    cells: List[Cell],
+    spec: ReplaySpec,
+    fold: Callable[[CellResult], None],
+    retry: RetryPolicy,
+    fault_plan: Optional[HostFaultPlan],
+    on_cell_failure: str,
+    failures: List[CellFailure],
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """The in-process serial fold, with full retry/failure semantics.
+
+    Kill faults raise :class:`~repro.parallel.resilience.\
+WorkerCrashError` here instead of SIGKILLing (the plan's parent-pid
+    guard), so single-worker replays exercise the same classify → retry
+    → degrade path the pooled engines do — and the crash-identity
+    property holds at ``workers=1``.
+    """
+    for key, cell_trace in cells:
+        attempt = 1
+        while True:
+            try:
+                fold(
+                    _replay_cell_task(
+                        spec, key, cell_trace, attempt, retry, fault_plan
+                    )
+                )
+                break
+            except Exception as exc:
+                if metrics is not None and (
+                    classify_failure(exc) == "worker-crash"
+                ):
+                    metrics.counter("repro_worker_crashes_total").inc()
+                if attempt < retry.max_attempts:
+                    attempt += 1
+                    if metrics is not None:
+                        metrics.counter("repro_cell_retries_total").inc()
+                    continue
+                failure = CellFailure(
+                    key=key,
+                    kind=classify_failure(exc),
+                    attempts=attempt,
+                    message=_failure_message(exc),
+                )
+                if on_cell_failure == "fail":
+                    raise CellFailedError(failure) from exc
+                failures.append(failure)
+                break
+
+
+def _run_shards(
+    payloads: List[tuple],
+    workers: int,
+    fold_shard: Callable[[ShardResult], None],
+    retry: RetryPolicy,
+    on_cell_failure: str,
+    failures: List[CellFailure],
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Batched fan-out that survives worker death.
+
+    Cell-level retries live inside :func:`_replay_shard`; this loop
+    handles only the failure mode workers cannot handle themselves —
+    their own death.  A ``BrokenProcessPool`` resubmits every in-flight
+    shard payload at ``attempt_base + 1`` on a fresh pool (completed
+    shards already folded; the dead ones' partial work is re-derived
+    byte-identically).  A shard whose attempt base passes the retry
+    budget converts wholesale into worker-crash cell failures.
+    """
+    max_workers = min(workers, len(payloads))
+
+    def exhaust(payload: tuple, exc: BaseException) -> None:
+        _spec, _index, cells, attempt_base, *_ = payload
+        shard_failures = [
+            CellFailure(
+                key=key,
+                kind="worker-crash",
+                attempts=attempt_base,
+                message=_failure_message(exc),
+            )
+            for key, _cell_trace in cells
+        ]
+        if on_cell_failure == "fail":
+            raise CellFailedError(shard_failures[0]) from exc
+        failures.extend(shard_failures)
+
+    with _frozen_gc():
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        inflight: Dict[object, tuple] = {}
+        try:
+            for payload in payloads:
+                inflight[pool.submit(_replay_shard, payload)] = payload
+            while inflight:
+                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                crashed: List[tuple] = []
+                broken: Optional[BaseException] = None
+                for future in done:
+                    payload = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        fold_shard(future.result())
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = exc
+                        crashed.append(payload)
+                    else:
+                        # CellFailedError from a worker's "fail" mode,
+                        # or an unexpected host error — both abort.
+                        raise exc
+                if broken is not None:
+                    crashed.extend(inflight.values())
+                    inflight.clear()
+                    if metrics is not None:
+                        metrics.counter("repro_worker_crashes_total").inc()
+                    pool.shutdown(wait=True)
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                    for payload in crashed:
+                        spec, index, cells, attempt_base, *rest = payload
+                        if attempt_base < retry.max_attempts:
+                            resubmit = (
+                                spec, index, cells, attempt_base + 1, *rest
+                            )
+                            inflight[
+                                pool.submit(_replay_shard, resubmit)
+                            ] = resubmit
+                            if metrics is not None:
+                                metrics.counter(
+                                    "repro_cell_retries_total"
+                                ).inc(len(cells))
+                        else:
+                            exhaust(payload, broken)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_parallel_replay(
@@ -594,6 +943,9 @@ def run_parallel_replay(
     on_cell: Optional[Callable[[CellResult], None]] = None,
     completed_cells: Optional[Iterable[CellResult]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[HostFaultPlan] = None,
+    on_cell_failure: str = "fail",
 ) -> ParallelReplayResult:
     """Replay a trace across worker processes and merge the results.
 
@@ -635,6 +987,15 @@ def run_parallel_replay(
     (also recorded on the result's :attr:`~ParallelReplayResult.\
 phase_wall_s`).  Telemetry never feeds back into the replay, so the
     merged report stays byte-identical with or without a registry.
+
+    ``retry`` (default :class:`RetryPolicy()
+    <repro.parallel.resilience.RetryPolicy>`) governs per-cell attempt
+    budgets, backoff, and deadlines; ``fault_plan`` deterministically
+    injects host faults (tests/chaos harness); ``on_cell_failure``
+    picks between aborting on the first exhausted cell (``"fail"``) and
+    degrading the report with a ``failed_cells`` section (``"skip"``).
+    None of the three perturbs cell seeds or merge order, so a run that
+    recovers from every fault stays byte-identical to a fault-free run.
     """
     t_prepare = time.perf_counter()
     if isinstance(policy, str):
@@ -646,6 +1007,17 @@ phase_wall_s`).  Telemetry never feeds back into the replay, so the
         raise ValueError("workers must be >= 1")
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if on_cell_failure not in ON_CELL_FAILURE_MODES:
+        raise ValueError(
+            f"on_cell_failure must be one of {list(ON_CELL_FAILURE_MODES)}, "
+            f"got {on_cell_failure!r}"
+        )
+    if retry is None:
+        retry = RetryPolicy()
+    retry.validate()
+    if fault_plan is not None:
+        fault_plan.validate()
+    failures: List[CellFailure] = []
     merge = StreamingMerge(trace, spec)
     skip: set = set()
     if completed_cells is not None:
@@ -670,41 +1042,62 @@ phase_wall_s`).  Telemetry never feeds back into the replay, so the
         if on_cell is not None:
             on_cell(cell)
 
+    def fold_shard(shard: ShardResult) -> None:
+        for cell in shard.cells:
+            fold(cell)
+        failures.extend(shard.failures)
+        if metrics is not None and shard.retries:
+            metrics.counter("repro_cell_retries_total").inc(shard.retries)
+
     start = time.perf_counter()
     prepare_s = start - t_prepare
-    if stream:
-        cells = [
-            cell for cell in policy.split(trace) if cell[0] not in skip
-        ]
-        if workers == 1 or len(cells) <= 1:
-            for key, cell_trace in cells:
-                fold(replay_cell(spec, key, cell_trace))
+    try:
+        if stream:
+            cells = [
+                cell for cell in policy.split(trace) if cell[0] not in skip
+            ]
+            if workers == 1 or len(cells) <= 1:
+                # In-process serial fold with the same retry semantics;
+                # kill faults degrade to WorkerCrashError here (the
+                # fault plan never SIGKILLs its own parent process).
+                _serial_stream(
+                    cells, spec, fold, retry, fault_plan,
+                    on_cell_failure, failures, metrics,
+                )
+            else:
+                _stream_cells(
+                    cells, spec, workers, fold, policy,
+                    retry, fault_plan, on_cell_failure, failures,
+                    metrics=metrics,
+                )
         else:
-            _stream_cells(cells, spec, workers, fold, policy, metrics=metrics)
-    else:
-        batches = [
-            [cell for cell in batch if cell[0] not in skip]
-            for batch in partition_trace(trace, shards, policy)
-        ]
-        payloads = [
-            (spec, index, cells)
-            for index, cells in enumerate(batches)
-            if cells
-        ]
-        if workers == 1 or len(payloads) <= 1:
-            for payload in payloads:
-                for cell in _replay_shard(payload).cells:
-                    fold(cell)
-        else:
-            with _frozen_gc(), ProcessPoolExecutor(
-                max_workers=min(workers, len(payloads))
-            ) as pool:
-                for shard in pool.map(_replay_shard, payloads):
-                    for cell in shard.cells:
-                        fold(cell)
-    wall_s = time.perf_counter() - start
-    t_finalize = time.perf_counter()
-    merged = merge.finalize()
+            batches = [
+                [cell for cell in batch if cell[0] not in skip]
+                for batch in partition_trace(trace, shards, policy)
+            ]
+            payloads = [
+                (spec, index, cells, 1, retry, fault_plan, on_cell_failure)
+                for index, cells in enumerate(batches)
+                if cells
+            ]
+            if workers == 1 or len(payloads) <= 1:
+                for payload in payloads:
+                    fold_shard(_replay_shard(payload))
+            else:
+                _run_shards(
+                    payloads, workers, fold_shard, retry,
+                    on_cell_failure, failures, metrics,
+                )
+        wall_s = time.perf_counter() - start
+        t_finalize = time.perf_counter()
+        merged = merge.finalize()
+    except BaseException:
+        # The sink may hold scratch state (the spilling sink's NDJSON
+        # run files); a failed replay must not leak it — retries and
+        # subsequent runs would accumulate orphan runs otherwise.
+        merge.sink.close()
+        raise
+    merged.failed_cells = sorted(failures, key=lambda failure: failure.key)
     finalize_s = time.perf_counter() - t_finalize
     merged.policy_name = policy.name
     merged.shards = shards

@@ -58,6 +58,7 @@ _PROFILE_KEYS = {
     "fanout",
     "system_overrides",
     "cluster",
+    "max_concurrent_runs",
 }
 
 
@@ -83,6 +84,11 @@ class TenantProfile:
     system_overrides: Optional[Dict[str, object]] = None
     #: :class:`~repro.cluster.cluster.ClusterConfig` field overrides.
     cluster_overrides: Optional[Dict[str, object]] = None
+    #: Admission-control quota: how many of this tenant's runs may be
+    #: queued or running at once in ``repro serve`` (``None`` =
+    #: unlimited).  A control-plane knob only — it never reaches the
+    #: replay engine, so it cannot perturb seeds or reports.
+    max_concurrent_runs: Optional[int] = None
 
     def is_empty(self) -> bool:
         return all(
@@ -135,6 +141,11 @@ class TenantProfile:
                 ),
                 system_overrides=payload.get("system_overrides"),
                 cluster_overrides=payload.get("cluster"),
+                max_concurrent_runs=(
+                    int(payload["max_concurrent_runs"])
+                    if payload.get("max_concurrent_runs") is not None
+                    else None
+                ),
             )
         except (TypeError, ValueError) as exc:
             raise TenantProfileError(f"tenant {tenant!r}: {exc}") from None
@@ -147,6 +158,13 @@ class TenantProfile:
         if profile.input_bytes is not None and profile.input_bytes < 0:
             raise TenantProfileError(
                 f"tenant {tenant!r}: input_bytes must be non-negative"
+            )
+        if (
+            profile.max_concurrent_runs is not None
+            and profile.max_concurrent_runs < 1
+        ):
+            raise TenantProfileError(
+                f"tenant {tenant!r}: max_concurrent_runs must be >= 1"
             )
         return profile
 

@@ -42,7 +42,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..metrics.report import render_event, render_json
 from ..parallel.profiles import TenantConfig
-from .jobs import JobStore, RecordsUnavailable, UnknownJob
+from .jobs import AdmissionDenied, JobStore, RecordsUnavailable, UnknownJob
 from .journal import RunJournal
 from .validation import BadRequest, parse_run_request
 
@@ -152,16 +152,28 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: object) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
         body = (render_json(payload) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
 
     def _query(self) -> dict:
         """Last-wins flat view of the request's query string."""
@@ -193,12 +205,25 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         try:
             if path == "/healthz":
+                store = self.server.store
+                counts = store.counts()
+                # Load balancers shed on ready=false *before* clients
+                # hit the 429 path: the flag flips as soon as the run
+                # queue saturates (docs/robustness.md).
+                ready = (
+                    store.max_queued is None
+                    or counts["queued"] < store.max_queued
+                )
                 return self._send_json(
                     200,
                     {
                         "status": "ok",
-                        "jobs": self.server.store.counts(),
-                        "workers": self.server.store.workers,
+                        "ready": ready,
+                        "jobs": counts,
+                        "workers": store.workers,
+                        "queued": counts["queued"],
+                        "rejected": store.rejected,
+                        "max_queued": store.max_queued,
                     },
                 )
             if path in ("/v1/apps", "/v1/systems", "/v1/policies"):
@@ -343,7 +368,16 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             except BadRequest as exc:
                 return self._send_error_json(400, str(exc))
-            job_id = self.server.store.submit(request)
+            try:
+                job_id = self.server.store.submit(request)
+            except AdmissionDenied as exc:
+                # 429 + Retry-After is the documented backpressure
+                # contract (docs/robustness.md); ServeClient honors it.
+                retry_after = max(1, int(round(exc.retry_after_s)))
+                return self._send_error_json(
+                    429, str(exc),
+                    headers=(("Retry-After", str(retry_after)),),
+                )
             self._send_json(
                 202,
                 {
@@ -401,6 +435,7 @@ def create_server(
     dashboard: bool = True,
     keepalive_s: Optional[float] = 15.0,
     max_events_per_run: Optional[int] = 10_000,
+    max_queued: Optional[int] = None,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -428,6 +463,12 @@ def create_server(
     envelopes move to a per-run disk spool that event followers replay
     history from, so a huge trace can stream without growing the
     server's resident memory per event.
+
+    ``max_queued`` (``--max-queued`` on the CLI; ``None`` = unbounded)
+    is the admission-control queue-depth bound: a submission arriving
+    with that many jobs already queued is refused with ``429`` +
+    ``Retry-After``, and ``/healthz`` reports ``ready: false`` until
+    the queue drains (``docs/robustness.md``).
     """
     return ReproServer(
         (host, port),
@@ -437,6 +478,7 @@ def create_server(
             journal=None if journal is None else RunJournal(journal),
             default_tenant_config=default_tenant_config,
             max_events_per_run=max_events_per_run,
+            max_queued=max_queued,
         ),
         default_tenant_config=default_tenant_config,
         quiet=quiet,

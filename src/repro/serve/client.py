@@ -29,6 +29,7 @@ consumers.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Iterator, Optional
@@ -54,35 +55,101 @@ class ServeClient:
     threads.  ``timeout_s`` applies per socket operation — on the event
     stream that means "maximum silence between lines", which the
     server's keepalive comments keep comfortably short for idle runs.
+
+    Transient failures retry transparently, up to ``retries`` extra
+    attempts per call: admission-control pushback (``429``, honoring
+    the server's ``Retry-After``), ``503``, and connection resets.  The
+    backoff between attempts is ``Retry-After`` when the server sent
+    one, else capped exponential from ``backoff_s``.  Anything else —
+    including every other 4xx/5xx — raises :class:`ServeError`
+    immediately.  ``retries=0`` disables retrying entirely.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    #: HTTP statuses worth retrying: admission pushback + overload.
+    _RETRY_STATUSES = (429, 503)
+    #: Ceiling on one computed backoff pause, seconds.
+    _MAX_BACKOFF_S = 5.0
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        retries: int = 3,
+        backoff_s: float = 0.25,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     # -- plumbing -------------------------------------------------------------
+
+    @staticmethod
+    def _is_reset(error: BaseException) -> bool:
+        """A dropped connection (bare, or wrapped by urllib)."""
+        if isinstance(error, ConnectionResetError):
+            return True
+        return isinstance(error, urllib.error.URLError) and isinstance(
+            getattr(error, "reason", None), ConnectionResetError
+        )
+
+    def _pause_s(self, attempt: int, retry_after: Optional[str]) -> float:
+        """How long to wait before retry ``attempt`` (0-based)."""
+        if retry_after is not None:
+            try:
+                return min(float(retry_after), self._MAX_BACKOFF_S)
+            except ValueError:
+                pass
+        return min(self.backoff_s * 2.0 ** attempt, self._MAX_BACKOFF_S)
 
     def _request(
         self, path: str, body: Optional[dict] = None
     ) -> "urllib.request.http.client.HTTPResponse":
         data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method="GET" if data is None else "POST",
-            headers={} if data is None else {
-                "Content-Type": "application/json"
-            },
-        )
-        try:
-            return urllib.request.urlopen(request, timeout=self.timeout_s)
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        for attempt in range(self.retries + 1):
+            # urllib consumes the Request (and HTTPError bodies) on
+            # failure — build a fresh one per attempt.
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method="GET" if data is None else "POST",
+                headers={} if data is None else {
+                    "Content-Type": "application/json"
+                },
+            )
             try:
-                message = json.loads(raw).get("error", raw.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                message = raw.decode("utf-8", "replace")
-            raise ServeError(error.code, message) from None
+                return urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                )
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                try:
+                    message = json.loads(raw).get(
+                        "error", raw.decode("utf-8")
+                    )
+                except (ValueError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", "replace")
+                if (
+                    error.code in self._RETRY_STATUSES
+                    and attempt < self.retries
+                ):
+                    time.sleep(
+                        self._pause_s(
+                            attempt, error.headers.get("Retry-After")
+                        )
+                    )
+                    continue
+                raise ServeError(error.code, message) from None
+            except (urllib.error.URLError, ConnectionResetError) as error:
+                if self._is_reset(error) and attempt < self.retries:
+                    time.sleep(self._pause_s(attempt, None))
+                    continue
+                raise
+        raise AssertionError("unreachable: retry loop always returns/raises")
 
     def _json(self, path: str, body: Optional[dict] = None) -> dict:
         with self._request(path, body) as response:

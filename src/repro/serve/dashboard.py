@@ -503,6 +503,9 @@ function detailOf(e) {
       return `${e.name}${JSON.stringify(e.labels || {})} = ${e.value}`;
     case "error": return e.message;
     case "report": return `completed=${e.report.completed}`;
+    case "degraded":
+      return `completed=${e.report.completed}, `
+        + `${e.failed_cells} cell(s) failed`;
     case "recovered": return `${e.cells_journaled} cells journaled`;
     default: return "";
   }
@@ -542,6 +545,7 @@ function onEvent(e) {
       state.failed = e.failed;
       break;
     case "report": state.status = "done"; break;
+    case "degraded": state.status = "degraded"; break;
     case "error": state.status = "failed"; break;
   }
   renderProgress(); renderTenants(); renderDag(); renderLog();

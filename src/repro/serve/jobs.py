@@ -64,6 +64,7 @@ from .journal import JournalState, RunJournal
 from .validation import RunRequest, parse_run_request
 
 __all__ = [
+    "AdmissionDenied",
     "EventSpool",
     "Job",
     "JobStore",
@@ -84,6 +85,20 @@ class RecordsUnavailable(RuntimeError):
     """The run exists but its records cannot be paged (not done yet,
     journal-restored, or past the record-retention window); the HTTP
     layer answers 409 with this message."""
+
+
+class AdmissionDenied(RuntimeError):
+    """A run submission the front door refused (``429 Too Many
+    Requests``): the queue-depth bound (``reason="queue_full"``) or the
+    submitting tenant's concurrent-run quota (``reason="tenant_quota"``).
+    ``retry_after_s`` feeds the response's ``Retry-After`` header."""
+
+    def __init__(
+        self, reason: str, message: str, retry_after_s: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
 
 
 class EventSpool:
@@ -236,6 +251,7 @@ class JobStore:
         metrics: Optional[MetricsRegistry] = None,
         max_events_per_run: Optional[int] = 10_000,
         max_record_runs: int = 8,
+        max_queued: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -245,6 +261,13 @@ class JobStore:
             raise ValueError("max_events_per_run must be >= 1 (or None)")
         if max_record_runs < 1:
             raise ValueError("max_record_runs must be >= 1")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be >= 1 (or None)")
+        #: Admission control: refuse submissions once this many jobs sit
+        #: queued (``None`` = unbounded, the historical behavior).
+        self.max_queued = max_queued
+        #: Submissions refused by admission control (process lifetime).
+        self.rejected = 0
         self.max_finished = max_finished
         self.max_events_per_run = max_events_per_run
         #: Done runs whose merged records stay pageable; older runs drop
@@ -341,9 +364,21 @@ class JobStore:
                     job, "recovered",
                     {"run_id": job.id, "cells_journaled": len(run.cells)},
                 )
-                self._append(
-                    job, "report", {"run_id": job.id, "report": run.report}
-                )
+                failed_cells = self._report_failed_cells(run.report)
+                if failed_cells:
+                    # The journaled report carries a failed_cells
+                    # section: restore with the same terminal kind the
+                    # original execution emitted.
+                    self._append(
+                        job, "degraded",
+                        {"run_id": job.id, "report": run.report,
+                         "failed_cells": failed_cells},
+                    )
+                else:
+                    self._append(
+                        job, "report",
+                        {"run_id": job.id, "report": run.report},
+                    )
                 continue
             if run.status == "failed":
                 job.status = "failed"
@@ -418,10 +453,52 @@ class JobStore:
         With a journal attached, the submission record is fsync'd
         before the job becomes runnable — an accepted run survives a
         crash that lands immediately after the 202.
+
+        Admission control runs first, under the same lock that guards
+        the state it reads: the queue-depth bound, then the submitting
+        tenant's concurrent-run quota (counting that tenant's queued +
+        running jobs).  A refused submission raises
+        :class:`AdmissionDenied` (HTTP 429 + ``Retry-After``) and
+        leaves no trace beyond the rejection counters.
         """
         with self._cond:
             if self._closed:
                 raise RuntimeError("job store is shut down")
+            if self.max_queued is not None:
+                queued = sum(
+                    1 for job in self._jobs.values()
+                    if job.status == "queued"
+                )
+                if queued >= self.max_queued:
+                    self.rejected += 1
+                    self.metrics.counter(
+                        "repro_runs_rejected_total", reason="queue_full"
+                    ).inc()
+                    raise AdmissionDenied(
+                        "queue_full",
+                        f"run queue is full ({queued} queued, "
+                        f"max {self.max_queued}); retry later",
+                    )
+            if (
+                request.tenant is not None
+                and request.max_concurrent_runs is not None
+            ):
+                active = sum(
+                    1 for job in self._jobs.values()
+                    if job.status in ("queued", "running")
+                    and job.summary.get("tenant") == request.tenant
+                )
+                if active >= request.max_concurrent_runs:
+                    self.rejected += 1
+                    self.metrics.counter(
+                        "repro_runs_rejected_total", reason="tenant_quota"
+                    ).inc()
+                    raise AdmissionDenied(
+                        "tenant_quota",
+                        f"tenant {request.tenant!r} already has {active} "
+                        f"active run(s), quota "
+                        f"{request.max_concurrent_runs}; retry later",
+                    )
             job_id = f"run-{next(self._ids):06d}"
             job = Job(
                 id=job_id,
@@ -483,6 +560,16 @@ class JobStore:
             raise UnknownJob(job_id)
         return job
 
+    @staticmethod
+    def _report_failed_cells(report: Optional[dict]) -> int:
+        """How many cells a report's ``replay.failed_cells`` records."""
+        if not isinstance(report, dict):
+            return 0
+        replay = report.get("replay")
+        if not isinstance(replay, dict):
+            return 0
+        return len(replay.get("failed_cells") or ())
+
     def snapshot(self, job_id: str) -> dict:
         """A consistent JSON-ready view of one job (``GET /v1/runs/<id>``)."""
         with self._cond:
@@ -496,6 +583,8 @@ class JobStore:
             }
             if job.recovered:
                 view["recovered"] = True
+            if self._report_failed_cells(job.report):
+                view["degraded"] = True
             if job.error is not None:
                 view["error"] = job.error
             # The report sub-object is the engine's to_dict verbatim —
@@ -869,8 +958,12 @@ class JobStore:
                 on_cell=on_cell,
                 completed_cells=job.preloaded or None,
                 metrics=self.metrics,
+                retry=request.retry,
+                fault_plan=request.faults,
+                on_cell_failure=request.on_cell_failure,
             )
             report = result.to_dict()
+            failed_cells = len(result.failed_cells)
             # The terminal batch: the run's counter totals (matching
             # the report exactly), its phase-timing gauges, then the
             # report itself — seqs reserved up front so the journaled
@@ -918,12 +1011,27 @@ class JobStore:
                 # leaves the record-retention window.
                 job.records = result.records
                 job.preloaded = None
-                self._append(
-                    job, "report", {"run_id": job.id, "report": report},
-                    seq=seq,
-                )
+                if failed_cells:
+                    # The run finished but skipped cells that exhausted
+                    # their retries (on_cell_failure="skip"): terminal
+                    # kind "degraded", still a done run — the report is
+                    # complete for every surviving cell.
+                    self._append(
+                        job, "degraded",
+                        {"run_id": job.id, "report": report,
+                         "failed_cells": failed_cells},
+                        seq=seq,
+                    )
+                else:
+                    self._append(
+                        job, "report", {"run_id": job.id, "report": report},
+                        seq=seq,
+                    )
                 self._evict()
-            self.metrics.counter("repro_runs_total", status="done").inc()
+            self.metrics.counter(
+                "repro_runs_total",
+                status="degraded" if failed_cells else "done",
+            ).inc()
         except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
             error = f"{type(exc).__name__}: {exc}"
             with self._cond:

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..loadgen.trace import InvocationTrace, synthesize_trace
+from ..parallel.engine import ON_CELL_FAILURE_MODES
 from ..parallel.profiles import TenantConfig, TenantProfileError
+from ..parallel.resilience import HostFaultPlan, RetryPolicy
 from ..parallel.spec import ReplaySpec
 from ..workflow.dsl import parse_size
 
@@ -49,6 +51,10 @@ _REQUEST_KEYS = {
     "stream",
     "record_sink",
     "max_records_in_memory",
+    "tenant",
+    "retry",
+    "faults",
+    "on_cell_failure",
 }
 
 #: Keyword arguments a ``synth`` body may forward to
@@ -78,6 +84,17 @@ class RunRequest:
     workers: int = 1
     #: Streaming work-stealing scheduler vs the static batched engine.
     stream: bool = True
+    #: Who submitted the run (admission-control identity; free-form).
+    tenant: Optional[str] = None
+    #: The submitting tenant's concurrent-run quota, resolved from the
+    #: tenant config (``None`` = unlimited).
+    max_concurrent_runs: Optional[int] = None
+    #: Per-cell retry/deadline policy (``None`` = engine default).
+    retry: Optional[RetryPolicy] = None
+    #: Deterministic fault injection (tests/chaos only).
+    faults: Optional[HostFaultPlan] = None
+    #: ``"fail"`` aborts on an exhausted cell; ``"skip"`` degrades.
+    on_cell_failure: str = "fail"
     #: The echo of the submitted parameters (listings and audits).
     summary: dict = field(default_factory=dict)
     #: The original request body, verbatim — what the durable run
@@ -247,6 +264,27 @@ def parse_run_request(
     stream = payload.get("stream", True)
     if not isinstance(stream, bool):
         raise _type_error("stream", "a boolean", stream)
+    tenant = payload.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise _type_error("tenant", "a string", tenant)
+    on_cell_failure = payload.get("on_cell_failure", "fail")
+    if on_cell_failure not in ON_CELL_FAILURE_MODES:
+        raise BadRequest(
+            f"'on_cell_failure' must be one of "
+            f"{list(ON_CELL_FAILURE_MODES)}, got {on_cell_failure!r}"
+        )
+    retry = None
+    if payload.get("retry") is not None:
+        try:
+            retry = RetryPolicy.from_payload(payload["retry"])
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"retry: {exc}") from None
+    faults = None
+    if payload.get("faults") is not None:
+        try:
+            faults = HostFaultPlan.from_payload(payload["faults"])
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"faults: {exc}") from None
     sink_kind = payload.get("record_sink", "memory")
     if not isinstance(sink_kind, str):
         raise _type_error("record_sink", "a string", sink_kind)
@@ -319,6 +357,14 @@ def parse_run_request(
     if config is not None:
         spec = spec.with_tenant_config(config)
 
+    # The submitting tenant's quota comes from the tenant config: the
+    # tenant's own profile first, the config default as fallback.
+    max_concurrent_runs = None
+    if tenant is not None and config is not None:
+        profile = config.tenants.get(tenant) or config.default
+        if profile is not None:
+            max_concurrent_runs = profile.max_concurrent_runs
+
     summary = {
         "app": app,
         "system": system,
@@ -331,7 +377,11 @@ def parse_run_request(
         "tenant_config": config is not None,
         "record_sink": sink_kind,
     }
+    if tenant is not None:
+        summary["tenant"] = tenant
     return RunRequest(
         trace=trace, spec=spec, workers=workers, stream=stream,
+        tenant=tenant, max_concurrent_runs=max_concurrent_runs,
+        retry=retry, faults=faults, on_cell_failure=on_cell_failure,
         summary=summary, payload=payload,
     )

@@ -267,6 +267,111 @@ def test_submit_after_close_still_raises(tmp_path):
         store.submit(parse_run_request(RUN_BODY))
 
 
+def _journaled_cell_keys(path, run_id):
+    """Raw scan of the journal file, keeping duplicates — load_journal
+    dedupes, which would hide a double-journaled cell."""
+    keys = []
+    for line in path.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("rec") == "cell" and record.get("run") == run_id:
+            keys.append(record["key"])
+    return keys
+
+
+def test_cell_retried_to_success_is_journaled_exactly_once(tmp_path):
+    """A cell that fails its first attempt and succeeds on retry folds —
+    and journals — exactly once, and the report is identical to the
+    fault-free run's (retries are invisible to the replay semantics)."""
+    control = _run_to_completion(str(tmp_path / "control.jsonl"))
+
+    path = tmp_path / "journal.jsonl"
+    body = dict(
+        RUN_BODY,
+        retry={"max_attempts": 2},
+        faults=[{"kind": "poison", "cell": "a", "attempt": 1}],
+    )
+    store = JobStore(workers=1, journal=RunJournal(str(path)))
+    try:
+        run_id = store.submit(parse_run_request(body))
+        snap = _await_terminal(store, run_id)
+        assert snap["status"] == "done", snap.get("error")
+        assert snap.get("degraded") is not True
+        assert render_json(snap["report"]) == render_json(control["report"])
+    finally:
+        store.close()
+
+    keys = _journaled_cell_keys(path, run_id)
+    assert sorted(keys) == ["a", "b"]  # once each — attempt 1's failure
+    # never reached the journal, only attempt 2's fold did.
+    assert load_journal(str(path)).anomalies == []
+
+    # Restart: the run restores read-only, nothing re-executes.
+    store2 = JobStore(workers=1, journal=RunJournal(str(path)))
+    try:
+        snap = store2.snapshot(run_id)
+        assert snap["status"] == "done"
+        assert render_json(snap["report"]) == render_json(control["report"])
+    finally:
+        store2.close()
+    assert _journaled_cell_keys(path, run_id) == keys  # file untouched
+
+
+def test_degraded_resume_reexecutes_only_unjournaled_cells(tmp_path):
+    """Crash-resume of a degraded run: the journaled surviving cell
+    folds back from its residue, only the unjournaled (poisoned) cell
+    re-executes — and fails again, reproducing the identical degraded
+    report."""
+    path = tmp_path / "journal.jsonl"
+    body = dict(
+        RUN_BODY,
+        retry={"max_attempts": 1},
+        faults=[{"kind": "poison", "cell": "a", "attempt": 0}],
+        on_cell_failure="skip",
+    )
+    store = JobStore(workers=1, journal=RunJournal(str(path)))
+    try:
+        run_id = store.submit(parse_run_request(body))
+        snap = _await_terminal(store, run_id)
+        assert snap["status"] == "done", snap.get("error")
+        assert snap["degraded"] is True
+        reference = render_json(snap["report"])
+    finally:
+        store.close()
+
+    # The poisoned cell left no residue; only "b" is journaled.
+    assert _journaled_cell_keys(path, run_id) == ["b"]
+
+    # Surgery: drop the terminal record, as a crash between the last
+    # fold and the terminal append would.
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    kept = [r for r in records if r["rec"] != "done"]
+    path.write_text(
+        "\n".join(json.dumps(r, separators=(",", ":")) for r in kept) + "\n"
+    )
+
+    store2 = JobStore(workers=1, journal=RunJournal(str(path)))
+    try:
+        snap = _await_terminal(store2, run_id)
+        assert snap["status"] == "done", snap.get("error")
+        assert snap["degraded"] is True
+        assert snap["recovered"] is True
+        assert render_json(snap["report"]) == reference
+        events = store2._jobs[run_id].events
+        assert events[-1]["event"] == "degraded"
+        cell_events = [e for e in events if e["event"] == "cell"]
+        # "b" folded from the journal, not re-executed; "a" replayed
+        # fresh (and was poisoned again).
+        assert {e["cell"] for e in cell_events if e.get("resumed")} == {"b"}
+    finally:
+        store2.close()
+
+    keys = _journaled_cell_keys(path, run_id)
+    assert keys.count("b") == 1 and "a" not in keys
+
+
 def test_recovered_ids_never_collide_with_new_submissions(tmp_path):
     path = tmp_path / "journal.jsonl"
     _run_to_completion(str(path))

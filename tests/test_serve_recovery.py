@@ -148,11 +148,11 @@ def _events(base, run_id):
         ]
 
 
-def _control_report():
+def _control_report(body=RUN_BODY):
     """The uninterrupted run, in process: the byte-identical target."""
     store = JobStore(workers=1)
     try:
-        run_id = store.submit(parse_run_request(RUN_BODY))
+        run_id = store.submit(parse_run_request(body))
         deadline = time.monotonic() + 120
         while time.monotonic() < deadline:
             snap = store.snapshot(run_id)
@@ -258,6 +258,84 @@ def test_sigkill_mid_run_resumes_to_byte_identical_report(tmp_path):
     state = load_journal(str(journal_path))
     assert state.runs[run_id].status == "done"
     assert render_json(state.runs[run_id].report) == control
+
+
+def test_sigkill_mid_degraded_run_resumes_only_unjournaled_cells(tmp_path):
+    """Crash-resume × retry policy, out of process: a run degraded by a
+    poisoned cell (``on_cell_failure: skip``) is SIGKILLed mid-run; the
+    restart folds the journaled cells back without re-executing them,
+    replays only the unjournaled ones — the poisoned cell fails again,
+    deterministically — and lands on a degraded report byte-identical
+    to an uninterrupted degraded run's."""
+    journal_path = tmp_path / "journal.jsonl"
+    body = dict(
+        RUN_BODY,
+        retry={"max_attempts": 1},
+        faults=[{"kind": "poison", "cell": "tenant0", "attempt": 0}],
+        on_cell_failure="skip",
+    )
+    control = _control_report(body)
+
+    proc, base = _start_server(journal_path)
+    try:
+        run_id = _request(f"{base}/v1/runs", body)["id"]
+
+        def enough_progress():
+            cells = _journaled_cells(journal_path, run_id)
+            return cells if len(cells) >= KILL_AFTER_CELLS else None
+
+        before_kill = _await(
+            enough_progress, 60, f"{KILL_AFTER_CELLS} journaled cells",
+        )
+        assert not load_journal(str(journal_path)).runs[run_id].finished
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # The poisoned cell never journals a residue — only survivors do.
+    assert "tenant0" not in before_kill
+
+    proc, base = _start_server(journal_path)
+    try:
+        def finished():
+            snap = _request(f"{base}/v1/runs/{run_id}")
+            return snap if snap["status"] in ("done", "failed") else None
+
+        snap = _await(finished, 120, "resumed degraded run to finish")
+        assert snap["status"] == "done", snap.get("error")
+        assert snap["recovered"] is True
+        assert snap["degraded"] is True
+        assert render_json(snap["report"]) == control
+        failed = snap["report"]["replay"]["failed_cells"]
+        assert [(f["cell"], f["kind"], f["attempts"]) for f in failed] == [
+            ("tenant0", "poison", 1)
+        ]
+        events = _events(base, run_id)
+        for event in events:
+            validate_event(event)
+        assert events[-1]["event"] == "degraded"
+        assert events[-1]["failed_cells"] == 1
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # One cell record per *surviving* key across both incarnations: the
+    # checkpointed cells folded from the journal, the poisoned cell
+    # re-ran (and failed again) without ever journaling.
+    after = _journaled_cells(journal_path, run_id)
+    assert sorted(set(after)) == sorted(f"tenant{i}" for i in range(1, 8))
+    assert len(after) == 7, (
+        f"cells journaled twice: "
+        f"{sorted(k for k in after if after.count(k) > 1)}"
+    )
+    assert after[: len(before_kill)] == before_kill
 
 
 def test_restart_restores_finished_run_read_only(tmp_path):

@@ -76,6 +76,10 @@ EXAMPLES = {
         "labels": {"phase": "execute"},
     },
     "report": {"run_id": "run-000001", "report": {"offered": 4}},
+    "degraded": {
+        "run_id": "run-000001", "report": {"offered": 4},
+        "failed_cells": 1,
+    },
     "error": {"run_id": "run-000001", "message": "boom"},
 }
 
@@ -258,7 +262,35 @@ def test_all_event_kinds_emitted_across_run_shapes(tmp_path, monkeypatch):
         store.close()
     seen.update(e["event"] for e in events)
 
-    # 3. A run whose engine raises: the error terminal event.
+    # 3. A degraded run: a poison fault on every attempt of one cell
+    #    under on_cell_failure=skip — the terminal event is "degraded"
+    #    and the report carries the failed cell.
+    store = JobStore(workers=1)
+    try:
+        run_id = store.submit(parse_run_request(dict(
+            BODY,
+            retry={"max_attempts": 1},
+            faults=[{"kind": "poison", "cell": "tenant0", "attempt": 0}],
+            on_cell_failure="skip",
+        )))
+        events = _drain(store, run_id)
+        terminal = events[-1]
+        assert terminal["event"] == "degraded"
+        assert terminal["failed_cells"] == 1
+        failed = terminal["report"]["replay"]["failed_cells"]
+        assert [(f["cell"], f["kind"], f["attempts"]) for f in failed] == [
+            ("tenant0", "poison", 1)
+        ]
+        snapshot = store.snapshot(run_id)
+        assert snapshot["status"] == "done" and snapshot["degraded"] is True
+        assert store.metrics.snapshot()["repro_runs_total"] == {
+            (("status", "degraded"),): 1.0
+        }
+    finally:
+        store.close()
+    seen.update(e["event"] for e in events)
+
+    # 4. A run whose engine raises: the error terminal event.
     def boom(*args, **kwargs):
         raise RuntimeError("engine exploded")
 
@@ -277,7 +309,7 @@ def test_all_event_kinds_emitted_across_run_shapes(tmp_path, monkeypatch):
         store.close()
     seen.update(e["event"] for e in events)
 
-    # 4. Interrupted runs: one swept while queued, one swept while its
+    # 5. Interrupted runs: one swept while queued, one swept while its
     #    worker is stuck past close()'s timeout.  The attached follower
     #    terminates instead of hanging forever (the satellite bugfix).
     release = threading.Event()

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Chaos harness: SIGKILL replay workers mid-cell, assert report identity.
+
+The crash-identity property, end to end on a real process pool::
+
+    PYTHONPATH=src python tools/chaos_replay.py                  # CI smoke
+    PYTHONPATH=src python tools/chaos_replay.py --kill 2 --engine both
+    PYTHONPATH=src python tools/chaos_replay.py --log /tmp/faults.json
+
+It synthesizes a deterministic multi-tenant trace, replays it once on
+the fault-free serial path to get the *control* report, then replays it
+again under a :class:`~repro.parallel.resilience.HostFaultPlan` that
+SIGKILLs the worker process on the first attempt of the ``--kill``
+hottest-sorted cells — through the streamed work-stealing engine, the
+static batched engine, or both.  Every faulted run must recover (pool
+rebuilt, in-flight cells resubmitted, killed cells retried) and produce
+a report whose canonical rendering is SHA-256-identical to the control.
+
+A machine-readable fault log (``--log``) records the control hash and
+every run's verdict; CI uploads it as an artifact when the identity
+check fails.  Exit status: 0 all identical, 1 any mismatch.
+
+See ``docs/robustness.md`` for the failure model this exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.loadgen.trace import synthesize_trace  # noqa: E402
+from repro.metrics.report import render_json  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    FaultSpec,
+    HostFaultPlan,
+    ReplaySpec,
+    RetryPolicy,
+    run_parallel_replay,
+)
+
+
+def report_sha256(result) -> str:
+    """The canonical rendering's hash — the identity the harness asserts."""
+    return hashlib.sha256(
+        render_json(result.to_dict()).encode("utf-8")
+    ).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL replay workers mid-cell; assert the recovered "
+        "report is SHA-256-identical to the fault-free control"
+    )
+    parser.add_argument("--tenants", type=int, default=6,
+                        help="synthetic trace tenants (default: 6)")
+    parser.add_argument("--duration-s", type=float, default=20.0,
+                        help="synthetic trace length (default: 20)")
+    parser.add_argument("--mean-rpm", type=float, default=40.0,
+                        help="mean per-tenant rate (default: 40)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace + replay seed (default: 0)")
+    parser.add_argument("--app", default="wc",
+                        help="app for every synthetic event (default: wc)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="replay worker processes (default: 2)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="batched-engine shard count (default: 2)")
+    parser.add_argument("--kill", type=int, default=1, metavar="N",
+                        help="cells whose first attempt SIGKILLs its "
+                        "worker (default: 1)")
+    parser.add_argument("--max-attempts", type=int, default=4,
+                        help="retry budget per cell (default: 4)")
+    parser.add_argument("--engine", choices=["streamed", "batched", "both"],
+                        default="both",
+                        help="which engine(s) to fault (default: both)")
+    parser.add_argument("--log", type=Path,
+                        default=Path("chaos_fault_log.json"),
+                        help="machine-readable fault log "
+                        "(default: chaos_fault_log.json)")
+    args = parser.parse_args(argv)
+    if args.kill < 0:
+        parser.error("--kill must be >= 0")
+    if args.kill > args.tenants:
+        parser.error("--kill cannot exceed --tenants")
+
+    trace = synthesize_trace(
+        tenants=args.tenants,
+        duration_s=args.duration_s,
+        mean_rpm=args.mean_rpm,
+        apps=[args.app],
+        seed=args.seed,
+    )
+    spec = ReplaySpec(default_app=args.app, seed=args.seed)
+    victims = sorted(trace.tenants())[: args.kill]
+    retry = RetryPolicy(max_attempts=args.max_attempts, backoff_base_s=0.01)
+    plan = HostFaultPlan(faults=tuple(
+        FaultSpec(kind="kill", cell=cell, attempt=1) for cell in victims
+    ))
+
+    control = run_parallel_replay(trace, spec, shards=1, workers=1)
+    control_sha = report_sha256(control)
+    print(f"control: {control.offered} events, {control.cell_count} cells, "
+          f"sha256 {control_sha[:16]}…")
+
+    engines = (
+        ["streamed", "batched"] if args.engine == "both" else [args.engine]
+    )
+    runs = []
+    failures = []
+    for engine in engines:
+        streamed = engine == "streamed"
+        result = run_parallel_replay(
+            trace,
+            spec,
+            shards=1 if streamed else args.shards,
+            workers=args.workers,
+            stream=streamed,
+            retry=retry,
+            fault_plan=plan,
+        )
+        sha = report_sha256(result)
+        identical = sha == control_sha
+        runs.append({
+            "engine": engine,
+            "workers": args.workers,
+            "shards": 1 if streamed else args.shards,
+            "report_sha256": sha,
+            "identical": identical,
+        })
+        verdict = "identical" if identical else "MISMATCH"
+        print(f"{engine}: recovered from {len(victims)} worker kill(s), "
+              f"sha256 {sha[:16]}… [{verdict}]")
+        if not identical:
+            failures.append(engine)
+
+    log = {
+        "trace": {
+            "tenants": args.tenants,
+            "duration_s": args.duration_s,
+            "mean_rpm": args.mean_rpm,
+            "seed": args.seed,
+            "app": args.app,
+            "events": control.offered,
+        },
+        "faults": plan.to_payload(),
+        "retry": {"max_attempts": args.max_attempts},
+        "control_sha256": control_sha,
+        "runs": runs,
+        "identical": not failures,
+    }
+    args.log.parent.mkdir(parents=True, exist_ok=True)
+    args.log.write_text(json.dumps(log, indent=2) + "\n")
+    print(f"[fault log: {args.log}]")
+    if failures:
+        print(f"FAIL: recovered report diverged from control on "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("OK: every recovered report is byte-identical to the control")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

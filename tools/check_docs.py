@@ -17,6 +17,10 @@ Three enforcement passes, so docs never drift from the code:
    in :mod:`repro.metrics.telemetry` must appear in
    ``docs/observability.md`` — adding a kind or metric without
    documenting it fails CI.
+5. **Failure-model coverage.**  Every failure kind declared in
+   :data:`repro.parallel.resilience.FAILURE_KINDS` must appear as
+   inline code in ``docs/robustness.md`` — extending the taxonomy
+   without documenting it fails CI.
 
 Usage:  PYTHONPATH=src python tools/check_docs.py [paths...]
 (Coverage passes run only on the default full-corpus invocation.)
@@ -159,6 +163,30 @@ def check_event_coverage(obs_doc: Path) -> List[str]:
     return failures
 
 
+def check_failure_coverage(robustness_doc: Path) -> List[str]:
+    """Each failure kind must appear as inline code in robustness.md.
+
+    Same inline-code rule as event kinds: a prose "timeout" never
+    satisfies the check by accident.
+    """
+    from repro.parallel.resilience import FAILURE_KINDS
+
+    if not robustness_doc.is_file():
+        return [
+            f"{robustness_doc} is missing but repro.parallel.resilience "
+            f"declares {len(FAILURE_KINDS)} failure kind(s)"
+        ]
+    text = robustness_doc.read_text()
+    failures = []
+    for kind in FAILURE_KINDS:
+        if not re.search(rf"`{re.escape(kind)}`", text):
+            failures.append(
+                f"failure kind '{kind}' has no `{kind}` reference in "
+                f"{robustness_doc.name}"
+            )
+    return failures
+
+
 def main(argv: List[str]) -> int:
     paths = (
         [Path(p) for p in argv]
@@ -179,9 +207,14 @@ def main(argv: List[str]) -> int:
         coverage_failures += check_event_coverage(
             ROOT / "docs" / "observability.md"
         )
+        coverage_failures += check_failure_coverage(
+            ROOT / "docs" / "robustness.md"
+        )
+        from repro.parallel.resilience import FAILURE_KINDS
+
         kinds, names = telemetry_surface()
         coverage = (len(cli_subcommands()) + len(serve_routes())
-                    + len(kinds) + len(names))
+                    + len(kinds) + len(names) + len(FAILURE_KINDS))
         failures.extend(coverage_failures)
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
