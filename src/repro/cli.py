@@ -13,6 +13,7 @@ One entry point for everything the reproduction can do::
     repro systems
     repro validate my_workflow.dsl
     repro serve --port 8080 --workers 2
+    repro worker --server http://127.0.0.1:8080
 
 Installed as a ``console_scripts`` entry (``repro``) and runnable as
 ``python -m repro``.  Subcommands:
@@ -61,6 +62,13 @@ Installed as a ``console_scripts`` entry (``repro``) and runnable as
     (:mod:`repro.serve`): submit runs over REST (``POST /v1/runs``),
     poll for merged reports, and stream NDJSON per-cell progress
     (``docs/serve.md``).
+
+``worker``
+    Join a ``repro serve`` control plane as a remote replay worker:
+    register, long-poll for cell leases, replay them, and report the
+    results.  Runs submitted with ``"workers": "remote"`` execute on
+    the fleet and merge byte-identically to a local replay
+    (``docs/workers.md``).
 """
 
 from __future__ import annotations
@@ -458,11 +466,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
             args.tenant_config, args.system, args.placement
         )
         spec = spec.with_tenant_config(config)
+    metrics = None
+    if args.metrics_out:
+        from .metrics.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
     result = run_parallel_replay(
         trace, spec, shards=args.shards, workers=args.workers, policy=policy,
         stream=args.stream, retry=retry, fault_plan=fault_plan,
-        on_cell_failure=args.on_cell_failure,
+        on_cell_failure=args.on_cell_failure, metrics=metrics,
     )
+    if metrics is not None:
+        # The same Prometheus text GET /metrics serves, dumped for
+        # one-shot runs (scrapeless CI, ad-hoc analysis).
+        with open(args.metrics_out, "w") as handle:
+            handle.write(metrics.render_prometheus())
+        print(f"[wrote {args.metrics_out}]", file=sys.stderr)
 
     payload = result.to_dict()
     payload["trace"] = args.trace
@@ -617,6 +636,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--max-events-per-run must be >= 1")
     if args.max_queued is not None and args.max_queued < 1:
         raise CliError("--max-queued must be >= 1")
+    if args.lease_timeout_s <= 0:
+        raise CliError("--lease-timeout-s must be > 0")
+    if args.heartbeat_timeout_s <= 0:
+        raise CliError("--heartbeat-timeout-s must be > 0")
     default_config = None
     if args.tenant_config:
         # Same fail-fast gate as replay: a bad profile file kills the
@@ -634,6 +657,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             dashboard=not args.no_dashboard,
             max_events_per_run=args.max_events_per_run,
             max_queued=args.max_queued,
+            lease_timeout_s=args.lease_timeout_s,
+            heartbeat_timeout_s=args.heartbeat_timeout_s,
         )
     except OSError as exc:
         raise CliError(
@@ -666,6 +691,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .worker import run_worker
+
+    if args.poll_s <= 0:
+        raise CliError("--poll-s must be > 0")
+    if args.max_cells is not None and args.max_cells < 1:
+        raise CliError("--max-cells must be >= 1")
+    return run_worker(
+        args.server,
+        name=args.name,
+        poll_s=args.poll_s,
+        max_cells=args.max_cells,
+        quiet=args.quiet,
+    )
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -803,6 +844,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="table", help="report format (default: table)")
     replay.add_argument("--output", default=None,
                         help="write the report to a file instead of stdout")
+    replay.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also write the run's telemetry counters and "
+                        "histograms as Prometheus text — the same format "
+                        "'repro serve' exposes at GET /metrics "
+                        "(see docs/observability.md)")
     replay.set_defaults(func=cmd_replay)
 
     synth = sub.add_parser(
@@ -886,11 +932,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: reject new runs with "
                        "429 + Retry-After once N submissions are queued "
                        "(default: unbounded; see docs/robustness.md)")
+    serve.add_argument("--lease-timeout-s", type=float, default=30.0,
+                       metavar="S",
+                       help="remote fleet: seconds a leased cell may run "
+                       "before the lease expires and the cell requeues "
+                       "(default: 30; see docs/workers.md)")
+    serve.add_argument("--heartbeat-timeout-s", type=float, default=90.0,
+                       metavar="S",
+                       help="remote fleet: seconds of worker silence "
+                       "before it is evicted and its leases expire "
+                       "(default: 90; see docs/workers.md)")
     serve.add_argument("--no-dashboard", action="store_true",
                        help="disable GET /dashboard (the live telemetry "
                        "page); the API and GET /metrics stay up "
                        "(see docs/observability.md)")
     serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a 'repro serve' control plane as a remote replay "
+        "worker (lease cells, replay, report)",
+    )
+    worker.add_argument("--server", required=True, metavar="URL",
+                        help="control plane base URL, e.g. "
+                        "http://127.0.0.1:8080")
+    worker.add_argument("--name", default=None,
+                        help="human-readable label shown in GET "
+                        "/v1/workers and the dashboard")
+    worker.add_argument("--poll-s", type=float, default=20.0, metavar="S",
+                        help="long-poll length per lease request; the "
+                        "server caps it at 30 (default: 20)")
+    worker.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit cleanly after executing N cells "
+                        "(default: run until SIGTERM)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    worker.set_defaults(func=cmd_worker)
 
     return parser
 

@@ -58,8 +58,11 @@ __all__ = [
 #: 2 = this module: typed progress/counter/gauge events, per-cell
 #: latency stats, seq monotonic across journal resume;
 #: 3 = the ``degraded`` terminal kind (a run that finished with a
-#: non-empty ``failed_cells`` section under ``on_cell_failure=skip``).
-SCHEMA_VERSION = 3
+#: non-empty ``failed_cells`` section under ``on_cell_failure=skip``);
+#: 4 = the remote worker fleet: ``lease`` and ``lease_expired`` kinds
+#: (cell leases granted to / reclaimed from ``repro worker`` processes
+#: under ``workers="remote"``).
+SCHEMA_VERSION = 4
 
 
 class SchemaError(ValueError):
@@ -144,6 +147,21 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[Tuple[str, ...], bool]]] = {
         "name": (_STR, True),
         "value": (_NUM, True),
         "labels": (_DICT, False),
+    },
+    # remote worker fleet (workers="remote"): a cell lease granted to a
+    # worker, and a lease reclaimed after its deadline passed
+    "lease": {
+        "run_id": (_STR, True),
+        "cell": (_STR, True),
+        "worker": (_STR, True),
+        "attempt": (_INT, True),
+    },
+    "lease_expired": {
+        "run_id": (_STR, True),
+        "cell": (_STR, True),
+        "worker": (_STR, True),
+        "attempt": (_INT, True),
+        "requeued": (("bool",), True),
     },
     # terminal payloads
     "report": {"run_id": (_STR, True), "report": (_DICT, True)},
@@ -338,6 +356,22 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "gauge", "Job worker threads serving the run queue"),
     "repro_journal_fsyncs_total": (
         "counter", "Durable appends (write+flush+fsync) to the run journal"),
+    "repro_workers_registered": (
+        "gauge", "Remote workers currently registered with the control "
+        "plane (heartbeats fresh)"),
+    "repro_workers_evicted_total": (
+        "counter",
+        "Remote workers evicted after missing their heartbeat deadline"),
+    "repro_leases_granted_total": (
+        "counter", "Cell leases handed to remote workers"),
+    "repro_leases_expired_total": (
+        "counter",
+        "Cell leases reclaimed because the deadline passed without a "
+        "result"),
+    "repro_lease_results_total": (
+        "counter",
+        "Lease outcomes delivered by remote workers, labeled by status "
+        "(ok, error, or stale)"),
 }
 
 

@@ -100,6 +100,7 @@ __all__ = [
     "ParallelReplayResult",
     "ShardResult",
     "StreamingMerge",
+    "fold_remote_cells",
     "max_rss_mb",
     "merge_shard_results",
     "partition_trace",
@@ -1103,6 +1104,107 @@ phase_wall_s`).  Telemetry never feeds back into the replay, so the
     merged.shards = shards
     merged.workers = workers
     merged.streamed = stream
+    merged.wall_s = wall_s
+    merged.phase_wall_s = {
+        "prepare": prepare_s,
+        "execute": wall_s,
+        "finalize": finalize_s,
+    }
+    if metrics is not None:
+        for phase, seconds in merged.phase_wall_s.items():
+            metrics.histogram("repro_run_phase_seconds", phase=phase).observe(
+                seconds
+            )
+        if merge.sink.spilled_records:
+            metrics.counter("repro_records_spilled_total").inc(
+                merge.sink.spilled_records
+            )
+    merged.rss_mb = max_rss_mb()
+    return merged
+
+
+def fold_remote_cells(
+    trace: InvocationTrace,
+    spec: ReplaySpec,
+    outcomes: Iterable[Union[CellResult, CellFailure]],
+    policy: Union[str, ShardPolicy] = "tenant",
+    on_cell: Optional[Callable[[CellResult], None]] = None,
+    completed_cells: Optional[Iterable[CellResult]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    on_cell_failure: str = "fail",
+) -> ParallelReplayResult:
+    """Fold remotely executed cells into the same canonical merged report.
+
+    The remote-fleet entry point (``repro serve --workers remote``):
+    cells execute on ``repro worker`` processes elsewhere, and the
+    control plane consumes their outcomes — :class:`CellResult` payloads
+    delivered over HTTP, or :class:`~repro.parallel.resilience.\
+CellFailure` records for cells whose retry budget ran out — from the
+    blocking ``outcomes`` iterable.  Everything folds through the exact
+    :class:`StreamingMerge` the local engines use, so a fleet replay is
+    byte-identical to ``run_parallel_replay`` of the same (trace, spec,
+    policy) regardless of worker count, lease order, or worker death.
+
+    ``on_cell``, ``completed_cells`` (journal resume), ``metrics``, and
+    ``on_cell_failure`` carry the semantics of
+    :func:`run_parallel_replay`: the hook fires per freshly delivered
+    cell, resumed cells fold without re-execution, and an exhausted cell
+    either aborts the fold (``"fail"`` — a :class:`~repro.parallel.\
+resilience.CellFailedError`) or lands in the report's ``failed_cells``
+    section (``"skip"``).
+    """
+    t_prepare = time.perf_counter()
+    if isinstance(policy, str):
+        policy = get_shard_policy(policy)
+    _validate(trace, spec, policy)
+    if on_cell_failure not in ON_CELL_FAILURE_MODES:
+        raise ValueError(
+            f"on_cell_failure must be one of {list(ON_CELL_FAILURE_MODES)}, "
+            f"got {on_cell_failure!r}"
+        )
+    failures: List[CellFailure] = []
+    merge = StreamingMerge(trace, spec)
+    skip: set = set()
+    if completed_cells is not None:
+        for cell in completed_cells:
+            merge.add(cell)  # a duplicate key raises here
+            skip.add(cell.key)
+            if metrics is not None:
+                observe_cell_metrics(metrics, cell, resumed=True)
+        if skip:
+            known = {key for key, _ in policy.split(trace)}
+            unknown = sorted(skip - known)
+            if unknown:
+                raise ValueError(
+                    f"completed cells {unknown} are not cells of this "
+                    f"trace under the {policy.name!r} policy"
+                )
+    start = time.perf_counter()
+    prepare_s = start - t_prepare
+    try:
+        for outcome in outcomes:
+            if isinstance(outcome, CellFailure):
+                if on_cell_failure == "fail":
+                    raise CellFailedError(outcome)
+                failures.append(outcome)
+                continue
+            merge.add(outcome)
+            if metrics is not None:
+                observe_cell_metrics(metrics, outcome)
+            if on_cell is not None:
+                on_cell(outcome)
+        wall_s = time.perf_counter() - start
+        t_finalize = time.perf_counter()
+        merged = merge.finalize()
+    except BaseException:
+        merge.sink.close()
+        raise
+    merged.failed_cells = sorted(failures, key=lambda failure: failure.key)
+    finalize_s = time.perf_counter() - t_finalize
+    merged.policy_name = policy.name
+    merged.shards = 1
+    merged.workers = 1
+    merged.streamed = True
     merged.wall_s = wall_s
     merged.phase_wall_s = {
         "prepare": prepare_s,

@@ -23,6 +23,12 @@ of :data:`FAILURE_KINDS`:
     (:class:`CellDeadlineExceeded`) or raised any other ``TimeoutError``.
 ``poison``
     An injected :class:`PoisonError` (fault plans and tests).
+``lease-expired``
+    A remote worker's cell lease passed its deadline without a result
+    (the worker died, hung, or lost connectivity), and the control
+    plane's retry budget for the cell was already spent.  Only the
+    ``--workers remote`` execution mode produces this kind; see
+    ``docs/workers.md``.
 ``app-error``
     Anything else the replay raised.
 
@@ -86,7 +92,13 @@ __all__ = [
 ]
 
 #: Every way a cell can terminally fail (``docs/robustness.md``).
-FAILURE_KINDS = ("worker-crash", "timeout", "app-error", "poison")
+FAILURE_KINDS = (
+    "worker-crash",
+    "timeout",
+    "app-error",
+    "poison",
+    "lease-expired",
+)
 
 #: Kinds a :class:`FaultSpec` can inject.
 FAULT_KINDS = ("kill", "delay", "poison")

@@ -18,9 +18,16 @@ from .client import ServeClient, ServeError
 from .jobs import Job, JobStore, UnknownJob
 from .journal import JournalRun, JournalState, RunJournal, load_journal
 from .validation import BadRequest, RunRequest, parse_run_request
+from .workers import (
+    FleetCancelled,
+    StaleLease,
+    UnknownWorker,
+    WorkerRegistry,
+)
 
 __all__ = [
     "BadRequest",
+    "FleetCancelled",
     "Job",
     "JobStore",
     "JournalRun",
@@ -31,7 +38,10 @@ __all__ = [
     "RunRequest",
     "ServeClient",
     "ServeError",
+    "StaleLease",
     "UnknownJob",
+    "UnknownWorker",
+    "WorkerRegistry",
     "create_server",
     "load_journal",
     "parse_run_request",

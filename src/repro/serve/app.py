@@ -19,6 +19,11 @@ POST     /v1/runs               submit a run (202 + job id)
 GET      /v1/runs/<id>          job status + the merged report
 GET      /v1/runs/<id>/events   NDJSON progress stream (per-cell events)
 GET      /v1/runs/<id>/records  paginated merged request records
+GET      /v1/workers            remote worker fleet snapshot
+POST     /v1/workers            register a remote worker
+POST     /v1/workers/<id>/heartbeat  worker liveness refresh
+POST     /v1/cells/lease        lease the next queued cell (long poll)
+POST     /v1/cells/<lease>/result    deliver a leased cell's outcome
 =======  =====================  ==========================================
 
 Dependency-free by design: :mod:`http.server` handles the transport,
@@ -45,6 +50,7 @@ from ..parallel.profiles import TenantConfig
 from .jobs import AdmissionDenied, JobStore, RecordsUnavailable, UnknownJob
 from .journal import RunJournal
 from .validation import BadRequest, parse_run_request
+from .workers import FleetCancelled, StaleLease, UnknownWorker
 
 __all__ = ["ROUTES", "ReproServer", "create_server"]
 
@@ -63,6 +69,11 @@ ROUTES = [
     ("GET", "/v1/runs/<id>", "job status plus the merged report"),
     ("GET", "/v1/runs/<id>/events", "NDJSON progress stream"),
     ("GET", "/v1/runs/<id>/records", "paginated merged request records"),
+    ("GET", "/v1/workers", "remote worker fleet snapshot"),
+    ("POST", "/v1/workers", "register a remote worker"),
+    ("POST", "/v1/workers/<id>/heartbeat", "worker liveness refresh"),
+    ("POST", "/v1/cells/lease", "lease the next queued cell (long poll)"),
+    ("POST", "/v1/cells/<lease>/result", "deliver a leased cell's outcome"),
 ]
 
 #: Largest accepted request body; a trace bigger than this belongs on
@@ -72,6 +83,11 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 _RUN_PATH = re.compile(r"^/v1/runs/([^/]+)$")
 _EVENTS_PATH = re.compile(r"^/v1/runs/([^/]+)/events$")
 _RECORDS_PATH = re.compile(r"^/v1/runs/([^/]+)/records$")
+_HEARTBEAT_PATH = re.compile(r"^/v1/workers/([^/]+)/heartbeat$")
+_RESULT_PATH = re.compile(r"^/v1/cells/([^/]+)/result$")
+
+#: Longest lease long-poll one HTTP request may hold a thread for.
+MAX_LEASE_WAIT_S = 30.0
 
 #: ``GET /v1/runs/<id>/records`` page-size ceiling; a client asking for
 #: more gets clamped, keeping one response body bounded.
@@ -285,6 +301,10 @@ class _Handler(BaseHTTPRequestHandler):
                         match.group(1), cursor=cursor, limit=limit
                     ),
                 )
+            if path == "/v1/workers":
+                return self._send_json(
+                    200, self.server.store.fleet.snapshot()
+                )
             match = _RUN_PATH.match(path)
             if match:
                 return self._send_json(
@@ -334,61 +354,201 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- POST -----------------------------------------------------------------
 
+    def _read_body(self) -> Optional[dict]:
+        """The POST body as a JSON object (``{}`` for an empty body).
+
+        Returns ``None`` after answering the error itself — the caller
+        just bails out.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_error_json(
+                411, "a POST here needs a Content-Length body"
+            )
+            return None
+        if length < 0:
+            # rfile.read(-1) would block until client EOF, pinning
+            # this connection thread forever.
+            self._send_error_json(400, f"invalid Content-Length: {length}")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413,
+                f"request body over {MAX_BODY_BYTES} bytes; replay "
+                f"large traces from disk via the CLI",
+            )
+            return None
+        raw = self.rfile.read(length)
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(
+                400,
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}",
+            )
+            return None
+        return payload
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         try:
-            if path != "/v1/runs":
-                return self._send_error_json(404, f"no such path: {path}")
-            try:
-                length = int(self.headers.get("Content-Length", ""))
-            except ValueError:
-                return self._send_error_json(
-                    411, "a run submission needs a Content-Length body"
-                )
-            if length < 0:
-                # rfile.read(-1) would block until client EOF, pinning
-                # this connection thread forever.
-                return self._send_error_json(
-                    400, f"invalid Content-Length: {length}"
-                )
-            if length > MAX_BODY_BYTES:
-                return self._send_error_json(
-                    413,
-                    f"request body over {MAX_BODY_BYTES} bytes; replay "
-                    f"large traces from disk via the CLI",
-                )
-            raw = self.rfile.read(length)
-            try:
-                payload = json.loads(raw)
-            except json.JSONDecodeError as exc:
-                return self._send_error_json(400, f"invalid JSON body: {exc}")
-            try:
-                request = parse_run_request(
-                    payload, self.server.default_tenant_config
-                )
-            except BadRequest as exc:
-                return self._send_error_json(400, str(exc))
-            try:
-                job_id = self.server.store.submit(request)
-            except AdmissionDenied as exc:
-                # 429 + Retry-After is the documented backpressure
-                # contract (docs/robustness.md); ServeClient honors it.
-                retry_after = max(1, int(round(exc.retry_after_s)))
-                return self._send_error_json(
-                    429, str(exc),
-                    headers=(("Retry-After", str(retry_after)),),
-                )
-            self._send_json(
-                202,
-                {
-                    "id": job_id,
-                    "status": "queued",
-                    "url": f"/v1/runs/{job_id}",
-                    "events_url": f"/v1/runs/{job_id}/events",
-                },
-            )
+            if path == "/v1/runs":
+                return self._post_run()
+            if path == "/v1/workers":
+                return self._post_register()
+            if path == "/v1/cells/lease":
+                return self._post_lease()
+            match = _HEARTBEAT_PATH.match(path)
+            if match:
+                return self._post_heartbeat(match.group(1))
+            match = _RESULT_PATH.match(path)
+            if match:
+                return self._post_result(match.group(1))
+            self._send_error_json(404, f"no such path: {path}")
         except (BrokenPipeError, ConnectionResetError):
             pass
+
+    def _post_run(self) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            request = parse_run_request(
+                payload, self.server.default_tenant_config
+            )
+        except BadRequest as exc:
+            return self._send_error_json(400, str(exc))
+        try:
+            job_id = self.server.store.submit(request)
+        except AdmissionDenied as exc:
+            # 429 + Retry-After is the documented backpressure
+            # contract (docs/robustness.md); ServeClient honors it.
+            retry_after = max(1, int(round(exc.retry_after_s)))
+            return self._send_error_json(
+                429, str(exc),
+                headers=(("Retry-After", str(retry_after)),),
+            )
+        self._send_json(
+            202,
+            {
+                "id": job_id,
+                "status": "queued",
+                "url": f"/v1/runs/{job_id}",
+                "events_url": f"/v1/runs/{job_id}/events",
+            },
+        )
+
+    # -- remote worker fleet (docs/workers.md) --------------------------------
+
+    def _post_register(self) -> None:
+        """``POST /v1/workers``: admit a worker into the fleet."""
+        payload = self._read_body()
+        if payload is None:
+            return
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            return self._send_error_json(
+                400, f"'name' must be a string, got {type(name).__name__}"
+            )
+        try:
+            grant = self.server.store.fleet.register(name)
+        except FleetCancelled as exc:
+            return self._send_error_json(503, str(exc))
+        self._send_json(200, grant)
+
+    def _post_heartbeat(self, worker_id: str) -> None:
+        """``POST /v1/workers/<id>/heartbeat``: refresh liveness."""
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            self._send_json(
+                200, self.server.store.fleet.heartbeat(worker_id)
+            )
+        except UnknownWorker as exc:
+            self._send_error_json(404, str(exc))
+
+    def _post_lease(self) -> None:
+        """``POST /v1/cells/lease``: long-poll for the next queued cell.
+
+        Answers 200 with the lease grant (lease id, run id, cell key,
+        attempt number, and the run's validated request body), or 204
+        when ``wait_s`` elapses with nothing to do.
+        """
+        payload = self._read_body()
+        if payload is None:
+            return
+        worker_id = payload.get("worker")
+        if not isinstance(worker_id, str):
+            return self._send_error_json(
+                400, "'worker' (the registered worker id) is required"
+            )
+        wait_s = payload.get("wait_s", 0.0)
+        if isinstance(wait_s, bool) or not isinstance(wait_s, (int, float)):
+            return self._send_error_json(
+                400, f"'wait_s' must be a number, got {wait_s!r}"
+            )
+        wait_s = max(0.0, min(float(wait_s), MAX_LEASE_WAIT_S))
+        try:
+            grant = self.server.store.fleet.lease(worker_id, wait_s=wait_s)
+        except UnknownWorker as exc:
+            return self._send_error_json(404, str(exc))
+        if grant is None:
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self._send_json(200, grant)
+
+    def _post_result(self, lease_id: str) -> None:
+        """``POST /v1/cells/<lease>/result``: deliver a cell's outcome.
+
+        The body carries the worker id plus exactly one of ``result``
+        (a :meth:`~repro.parallel.engine.CellResult.to_payload` object)
+        or ``error`` (``{"kind", "message"}``).  A lease that already
+        expired answers 409 — the cell was re-leased, and a second
+        result would break the exactly-once fold.
+        """
+        payload = self._read_body()
+        if payload is None:
+            return
+        worker_id = payload.get("worker")
+        if not isinstance(worker_id, str):
+            return self._send_error_json(
+                400, "'worker' (the registered worker id) is required"
+            )
+        result = payload.get("result")
+        error = payload.get("error")
+        if (result is None) == (error is None):
+            return self._send_error_json(
+                400, "exactly one of 'result' or 'error' is required"
+            )
+        if result is not None and not isinstance(result, dict):
+            return self._send_error_json(
+                400, f"'result' must be an object, got "
+                     f"{type(result).__name__}"
+            )
+        if error is not None and not isinstance(error, dict):
+            return self._send_error_json(
+                400, f"'error' must be an object, got "
+                     f"{type(error).__name__}"
+            )
+        try:
+            ack = self.server.store.fleet.complete(
+                lease_id, worker_id, result=result, error=error
+            )
+        except StaleLease as exc:
+            return self._send_error_json(409, str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            return self._send_error_json(400, f"bad result payload: {exc}")
+        self._send_json(200, ack)
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -436,6 +596,8 @@ def create_server(
     keepalive_s: Optional[float] = 15.0,
     max_events_per_run: Optional[int] = 10_000,
     max_queued: Optional[int] = None,
+    lease_timeout_s: float = 30.0,
+    heartbeat_timeout_s: float = 90.0,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (port 0 = ephemeral).
 
@@ -469,6 +631,12 @@ def create_server(
     with that many jobs already queued is refused with ``429`` +
     ``Retry-After``, and ``/healthz`` reports ``ready: false`` until
     the queue drains (``docs/robustness.md``).
+
+    ``lease_timeout_s`` / ``heartbeat_timeout_s`` (``--lease-timeout-s``
+    / ``--heartbeat-timeout-s`` on the CLI) are the remote worker
+    fleet's timing contract: how long a leased cell may run before it
+    is reclaimed and requeued, and how long a worker may stay silent
+    before it is evicted (``docs/workers.md``).
     """
     return ReproServer(
         (host, port),
@@ -479,6 +647,8 @@ def create_server(
             default_tenant_config=default_tenant_config,
             max_events_per_run=max_events_per_run,
             max_queued=max_queued,
+            lease_timeout_s=lease_timeout_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
         ),
         default_tenant_config=default_tenant_config,
         quiet=quiet,

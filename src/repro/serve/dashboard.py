@@ -212,6 +212,21 @@ _PAGE = r"""<!DOCTYPE html>
     <div class="caption-sub" id="worker-label"></div>
   </figure>
 
+  <figure class="card">
+    <figcaption>Remote fleet</figcaption>
+    <div class="caption-sub">cell leases to <code>repro worker</code>
+      processes (<code>--workers remote</code> runs)</div>
+    <div class="stat-row">
+      <div class="stat"><div class="v" id="stat-fleet">–</div>
+        <div class="k">workers registered</div></div>
+      <div class="stat"><div class="v" id="stat-leases">–</div>
+        <div class="k">leases granted</div></div>
+      <div class="stat"><div class="v" id="stat-expired">–</div>
+        <div class="k">leases expired</div></div>
+    </div>
+    <div class="caption-sub" id="fleet-label">no remote workers yet</div>
+  </figure>
+
   <figure class="card" style="grid-column: 1 / -1;">
     <figcaption>Per-tenant cells</figcaption>
     <div class="caption-sub">
@@ -507,6 +522,11 @@ function detailOf(e) {
       return `completed=${e.report.completed}, `
         + `${e.failed_cells} cell(s) failed`;
     case "recovered": return `${e.cells_journaled} cells journaled`;
+    case "lease":
+      return `${e.cell} → ${e.worker} (attempt ${e.attempt})`;
+    case "lease_expired":
+      return `${e.cell} on ${e.worker}`
+        + (e.requeued ? " — requeued" : " — attempts exhausted");
     default: return "";
   }
 }
@@ -606,6 +626,16 @@ async function pollMetrics() {
     $("worker-fill").style.width = (frac * 100).toFixed(1) + "%";
     $("worker-label").textContent =
       `${(frac * 100).toFixed(0)}% of the pool busy`;
+    const fleet = parseMetric(text, "repro_workers_registered") || 0;
+    const leases = parseMetric(text, "repro_leases_granted_total") || 0;
+    const expired = parseMetric(text, "repro_leases_expired_total") || 0;
+    const results = parseMetric(text, "repro_lease_results_total") || 0;
+    $("stat-fleet").textContent = fleet;
+    $("stat-leases").textContent = leases;
+    $("stat-expired").textContent = expired;
+    $("fleet-label").textContent = fleet || leases
+      ? `${results} lease result(s) delivered`
+      : "no remote workers yet";
   } catch (err) { /* next poll retries */ }
 }
 

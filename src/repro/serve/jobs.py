@@ -56,12 +56,17 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..metrics.report import event_envelope
 from ..metrics.telemetry import MetricsRegistry, validate_event
-from ..parallel.engine import CellResult, run_parallel_replay
+from ..parallel.engine import (
+    CellResult,
+    fold_remote_cells,
+    run_parallel_replay,
+)
 from ..parallel.policy import get_shard_policy
 from ..parallel.profiles import TenantConfig
 from ..parallel.sink import record_to_payload
 from .journal import JournalState, RunJournal
 from .validation import RunRequest, parse_run_request
+from .workers import FleetCancelled, WorkerRegistry
 
 __all__ = [
     "AdmissionDenied",
@@ -252,6 +257,8 @@ class JobStore:
         max_events_per_run: Optional[int] = 10_000,
         max_record_runs: int = 8,
         max_queued: Optional[int] = None,
+        lease_timeout_s: float = 30.0,
+        heartbeat_timeout_s: float = 90.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -300,6 +307,14 @@ class JobStore:
         #: process that executed them, so restores don't re-count.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.gauge("repro_job_workers").set(workers)
+        #: The remote worker fleet (``workers="remote"`` runs): the HTTP
+        #: layer routes worker registration, leases, and results here.
+        self.fleet = WorkerRegistry(
+            lease_timeout_s=lease_timeout_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            metrics=self.metrics,
+            on_event=self._fleet_event,
+        )
         if journal is not None:
             journal.metrics = self.metrics
             # The worker threads don't exist yet, so recovery cannot
@@ -945,23 +960,26 @@ class JobStore:
                     self._append(job, "progress", progress, seq=first + 1)
 
         try:
-            # shards=workers keeps the static batched engine
-            # (stream=False) actually parallel at the requested width;
-            # the streaming engine ignores shards, and the merged
-            # report is shard-invariant either way.
-            result = run_parallel_replay(
-                request.trace,
-                request.spec,
-                shards=request.workers,
-                workers=request.workers,
-                stream=request.stream,
-                on_cell=on_cell,
-                completed_cells=job.preloaded or None,
-                metrics=self.metrics,
-                retry=request.retry,
-                fault_plan=request.faults,
-                on_cell_failure=request.on_cell_failure,
-            )
+            if request.workers == "remote":
+                result = self._execute_remote(job, request, on_cell)
+            else:
+                # shards=workers keeps the static batched engine
+                # (stream=False) actually parallel at the requested
+                # width; the streaming engine ignores shards, and the
+                # merged report is shard-invariant either way.
+                result = run_parallel_replay(
+                    request.trace,
+                    request.spec,
+                    shards=request.workers,
+                    workers=request.workers,
+                    stream=request.stream,
+                    on_cell=on_cell,
+                    completed_cells=job.preloaded or None,
+                    metrics=self.metrics,
+                    retry=request.retry,
+                    fault_plan=request.faults,
+                    on_cell_failure=request.on_cell_failure,
+                )
             report = result.to_dict()
             failed_cells = len(result.failed_cells)
             # The terminal batch: the run's counter totals (matching
@@ -1032,6 +1050,21 @@ class JobStore:
                 "repro_runs_total",
                 status="degraded" if failed_cells else "done",
             ).inc()
+        except FleetCancelled:
+            # Shutdown (or cancellation) cut a remote run off mid-fold:
+            # interrupted, not failed — the journal resumes it from its
+            # checkpointed cells on the next boot.
+            with self._cond:
+                if job.status != "running":
+                    return
+                job.status = "interrupted"
+                job.preloaded = None
+                seq = self._append(job, "interrupted", {"run_id": job.id})
+            if self._journal is not None:
+                self._journal.record_interrupted(job.id, seq=seq)
+            self.metrics.counter(
+                "repro_runs_total", status="interrupted"
+            ).inc()
         except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
             error = f"{type(exc).__name__}: {exc}"
             with self._cond:
@@ -1050,6 +1083,51 @@ class JobStore:
                 )
                 self._evict()
             self.metrics.counter("repro_runs_total", status="failed").inc()
+
+    def _execute_remote(self, job: Job, request: RunRequest, on_cell):
+        """Run one job on the remote fleet instead of a local pool.
+
+        The cells queue into the :class:`~repro.serve.workers.\
+WorkerRegistry` and the delivered outcomes fold through
+        :func:`~repro.parallel.engine.fold_remote_cells` — the same
+        ``StreamingMerge`` / ``on_cell`` / journal discipline as local
+        execution, so the report, the per-cell journal records, and the
+        event stream are byte-identical to ``repro replay`` at the same
+        seed.  Journal-recovered cells never re-queue: only the missing
+        cells go to the fleet.
+        """
+        done = {cell.key for cell in job.preloaded or ()}
+        pending = sorted(
+            key
+            for key, _ in get_shard_policy("tenant").split(request.trace)
+            if key not in done
+        )
+        fleet_job = self.fleet.submit(
+            job.id, request.payload or {}, pending, request.retry
+        )
+        try:
+            return fold_remote_cells(
+                request.trace,
+                request.spec,
+                self.fleet.results(fleet_job),
+                on_cell=on_cell,
+                completed_cells=job.preloaded or None,
+                metrics=self.metrics,
+                on_cell_failure=request.on_cell_failure,
+            )
+        finally:
+            self.fleet.finish(fleet_job)
+
+    def _fleet_event(self, job_id: str, kind: str, body: dict) -> None:
+        """Mirror fleet lease activity onto the owning run's stream.
+
+        Fired by the registry outside its own lock (lease grants and
+        expirations), so taking the store lock here cannot deadlock.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status == "running":
+                self._append(job, kind, body)
 
     def _interrupt(self, statuses: tuple) -> None:
         """Mark every job in ``statuses`` interrupted (event + journal).
@@ -1092,6 +1170,11 @@ class JobStore:
                 return
             self._closed = True
         self._interrupt(("queued",))
+        # Wake remote folds first: a fleet run blocked on workers that
+        # can no longer reach this process would otherwise pin its job
+        # thread for the whole timeout.  The fold observes the
+        # cancellation and marks the run interrupted (journal-resumable).
+        self.fleet.close()
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:

@@ -19,7 +19,7 @@ replayed via ``repro replay``), and the scheduling knobs (``workers``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..loadgen.trace import InvocationTrace, synthesize_trace
 from ..parallel.engine import ON_CELL_FAILURE_MODES
@@ -80,8 +80,10 @@ class RunRequest:
 
     trace: InvocationTrace
     spec: ReplaySpec
-    #: Replay-engine worker processes (1 = in-process serial fold).
-    workers: int = 1
+    #: Replay-engine worker processes (1 = in-process serial fold), or
+    #: the string ``"remote"``: cells execute on the registered
+    #: ``repro worker`` fleet via the lease queue (``docs/workers.md``).
+    workers: Union[int, str] = 1
     #: Streaming work-stealing scheduler vs the static batched engine.
     stream: bool = True
     #: Who submitted the run (admission-control identity; free-form).
@@ -260,7 +262,16 @@ def parse_run_request(
         raise BadRequest(f"'timeout_s' must be positive, got {timeout_s!r}")
     input_bytes = _opt_size(payload, "input_bytes")
     fanout = _opt_int(payload, "fanout", minimum=1)
-    workers = _opt_int(payload, "workers", minimum=1) or 1
+    workers_raw = payload.get("workers")
+    if isinstance(workers_raw, str):
+        if workers_raw != "remote":
+            raise BadRequest(
+                f"'workers' must be an integer >= 1 or the string "
+                f"'remote', got {workers_raw!r}"
+            )
+        workers: Union[int, str] = "remote"
+    else:
+        workers = _opt_int(payload, "workers", minimum=1) or 1
     stream = payload.get("stream", True)
     if not isinstance(stream, bool):
         raise _type_error("stream", "a boolean", stream)

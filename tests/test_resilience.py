@@ -133,7 +133,10 @@ def test_classify_failure_covers_every_kind():
         "timeout": [CellDeadlineExceeded("k", 1.0), TimeoutError("x")],
         "app-error": [ValueError("x"), RuntimeError("x")],
     }
-    assert set(cases) == set(FAILURE_KINDS)
+    # ``lease-expired`` is the one kind no exception maps to: the
+    # control plane's WorkerRegistry assigns it when a remote lease
+    # deadline passes without a result (no worker-side throw exists).
+    assert set(cases) | {"lease-expired"} == set(FAILURE_KINDS)
     for kind, excs in cases.items():
         for exc in excs:
             assert classify_failure(exc) == kind

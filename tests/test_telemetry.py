@@ -81,6 +81,14 @@ EXAMPLES = {
         "failed_cells": 1,
     },
     "error": {"run_id": "run-000001", "message": "boom"},
+    "lease": {
+        "run_id": "run-000001", "cell": "tenant0",
+        "worker": "w-000001", "attempt": 1,
+    },
+    "lease_expired": {
+        "run_id": "run-000001", "cell": "tenant0",
+        "worker": "w-000001", "attempt": 1, "requeued": True,
+    },
 }
 
 
@@ -341,6 +349,64 @@ def test_all_event_kinds_emitted_across_run_shapes(tmp_path, monkeypatch):
     assert queued_events[-1]["event"] == "interrupted"
     seen.update(e["event"] for e in collected)
     seen.update(e["event"] for e in queued_events)
+
+    # 6. A remote-fleet run: lease events per grant, plus a
+    #    lease_expired from a grant deliberately left to time out
+    #    (requeued at attempt 2 and finished by the driver) — and a
+    #    report byte-identical to the local run of shape 1.
+    from repro.worker import _execute_grant
+
+    import time as time_module
+
+    remote_body = dict(BODY, workers="remote", retry={"max_attempts": 2})
+    store = JobStore(workers=1, lease_timeout_s=30.0)
+    stop = threading.Event()
+    try:
+        run_id = store.submit(parse_run_request(remote_body))
+        lurker = store.fleet.register(name="lurker")["worker"]
+        abandoned = None
+        while abandoned is None:
+            abandoned = store.fleet.lease(lurker, wait_s=1.0)
+        # Expire the abandoned lease deterministically — sweep as if the
+        # deadline already passed (no other lease is active yet, and the
+        # heartbeat deadline is far beyond this horizon).
+        store.fleet.expire(time_module.monotonic() + 31.0)
+
+        def drive():
+            worker = store.fleet.register(name="driver")["worker"]
+            while not stop.is_set():
+                try:
+                    grant = store.fleet.lease(worker, wait_s=0.2)
+                except Exception:
+                    return
+                if grant is None:
+                    continue
+                outcome = _execute_grant(grant)
+                try:
+                    store.fleet.complete(grant["lease"], worker, **outcome)
+                except Exception:
+                    pass
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        events = _drain(store, run_id)
+        assert events[-1]["event"] == "report"
+        assert events[-1]["report"] == report
+        leases = [e for e in events if e["event"] == "lease"]
+        assert {e["cell"] for e in leases} == set(report["tenants"])
+        expired = [e for e in events if e["event"] == "lease_expired"]
+        assert [(e["cell"], e["attempt"], e["requeued"]) for e in expired] == [
+            (abandoned["cell"], 1, True)
+        ]
+        assert any(
+            e["cell"] == abandoned["cell"] and e["attempt"] == 2
+            for e in leases
+        )
+    finally:
+        stop.set()
+        store.close()
+        driver.join(timeout=10)
+    seen.update(e["event"] for e in events)
 
     # Everything the schema declares was actually observed.
     assert seen == set(event_kinds())

@@ -21,6 +21,11 @@ Three enforcement passes, so docs never drift from the code:
    :data:`repro.parallel.resilience.FAILURE_KINDS` must appear as
    inline code in ``docs/robustness.md`` — extending the taxonomy
    without documenting it fails CI.
+6. **Worker-fleet coverage.**  While the ``repro worker`` subcommand
+   exists, ``docs/workers.md`` must exist, name the subcommand, and
+   mention every fleet route (the ``/v1/workers*`` and ``/v1/cells*``
+   entries of :data:`repro.serve.ROUTES`) — the lease protocol cannot
+   drift undocumented.
 
 Usage:  PYTHONPATH=src python tools/check_docs.py [paths...]
 (Coverage passes run only on the default full-corpus invocation.)
@@ -187,6 +192,40 @@ def check_failure_coverage(robustness_doc: Path) -> List[str]:
     return failures
 
 
+def check_worker_coverage(workers_doc: Path) -> List[str]:
+    """The worker subcommand demands a lease-protocol reference doc.
+
+    ``docs/workers.md`` must exist, name ``repro worker``, and mention
+    every fleet route; the method-on-same-line rule stays with
+    :func:`check_route_coverage`, which covers the full route table.
+    """
+    if "worker" not in cli_subcommands():
+        return []
+    fleet_routes = [
+        (method, pattern)
+        for method, pattern in serve_routes()
+        if pattern.startswith(("/v1/workers", "/v1/cells"))
+    ]
+    if not workers_doc.is_file():
+        return [
+            f"{workers_doc} is missing but the 'repro worker' subcommand "
+            f"and {len(fleet_routes)} fleet route(s) exist"
+        ]
+    text = workers_doc.read_text()
+    failures = []
+    if not re.search(r"repro worker\b", text):
+        failures.append(
+            f"{workers_doc.name} never names the 'repro worker' subcommand"
+        )
+    for method, pattern in fleet_routes:
+        if not re.search(rf"{re.escape(pattern)}(?![/\w<])", text):
+            failures.append(
+                f"fleet route {method} {pattern} is not mentioned in "
+                f"{workers_doc.name}"
+            )
+    return failures
+
+
 def main(argv: List[str]) -> int:
     paths = (
         [Path(p) for p in argv]
@@ -209,6 +248,9 @@ def main(argv: List[str]) -> int:
         )
         coverage_failures += check_failure_coverage(
             ROOT / "docs" / "robustness.md"
+        )
+        coverage_failures += check_worker_coverage(
+            ROOT / "docs" / "workers.md"
         )
         from repro.parallel.resilience import FAILURE_KINDS
 
