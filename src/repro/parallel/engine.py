@@ -398,6 +398,7 @@ def _replay_cell_task(
     attempt: int,
     retry: RetryPolicy,
     faults: Optional[HostFaultPlan],
+    backoff: bool = True,
 ) -> CellResult:
     """One *attempt* at one cell — the resilient worker entry point.
 
@@ -406,8 +407,14 @@ def _replay_cell_task(
     any injected faults wrap the replay itself.  Every attempt replays
     byte-identically (``cell_seed`` ignores the attempt number), which
     is what makes retry-after-crash safe.
+
+    ``backoff=False`` skips the pause: remote fleet workers
+    (:mod:`repro.worker`) pass it because their lease clock is already
+    running when an attempt starts — sleeping would burn the lease
+    budget — and the requeue round-trip through the control plane has
+    spaced the attempts anyway.
     """
-    if attempt > 1:
+    if backoff and attempt > 1:
         time.sleep(retry.backoff_s(spec.seed, key, attempt))
     with cell_deadline(key, retry.deadline_s):
         if faults is not None:

@@ -168,6 +168,21 @@ class TenantProfile:
             )
         return profile
 
+    def to_payload(self) -> dict:
+        """The profile as a :meth:`from_payload` mapping (round-trips).
+
+        ``None`` fields are omitted so the payload layers exactly like
+        the profile does: an absent key inherits from the layer below.
+        """
+        payload: Dict[str, object] = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if value is None:
+                continue
+            key = "cluster" if spec.name == "cluster_overrides" else spec.name
+            payload[key] = dict(value) if isinstance(value, dict) else value
+        return payload
+
 
 @dataclass(frozen=True)
 class TenantConfig:
@@ -215,6 +230,26 @@ class TenantConfig:
         else:
             payload = parse_yaml_lite(text)
         return cls.from_payload(payload)
+
+    def to_payload(self) -> dict:
+        """The config as the :meth:`from_payload` schema (round-trips).
+
+        This is how a config crosses process boundaries: the serve
+        control plane injects its server-level ``--tenant-config`` into
+        the payload shipped to remote workers as an inline
+        ``tenant_config``, so a worker rebuilding the
+        :class:`~repro.parallel.spec.ReplaySpec` from the payload alone
+        resolves exactly the profiles the control plane validated.
+        """
+        payload: Dict[str, object] = {}
+        if self.default is not None:
+            payload["default"] = self.default.to_payload()
+        if self.tenants:
+            payload["tenants"] = {
+                tenant: profile.to_payload()
+                for tenant, profile in sorted(self.tenants.items())
+            }
+        return payload
 
     def validate(self, base_system: str, base_placement: str) -> None:
         """Check every profile against the system/placement registries.

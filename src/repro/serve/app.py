@@ -50,7 +50,12 @@ from ..parallel.profiles import TenantConfig
 from .jobs import AdmissionDenied, JobStore, RecordsUnavailable, UnknownJob
 from .journal import RunJournal
 from .validation import BadRequest, parse_run_request
-from .workers import FleetCancelled, StaleLease, UnknownWorker
+from .workers import (
+    FleetCancelled,
+    StaleLease,
+    UnknownWorker,
+    WorkerAuthError,
+)
 
 __all__ = ["ROUTES", "ReproServer", "create_server"]
 
@@ -448,7 +453,12 @@ class _Handler(BaseHTTPRequestHandler):
     # -- remote worker fleet (docs/workers.md) --------------------------------
 
     def _post_register(self) -> None:
-        """``POST /v1/workers``: admit a worker into the fleet."""
+        """``POST /v1/workers``: admit a worker into the fleet.
+
+        The response carries the worker's per-registration ``secret``;
+        every later fleet POST must echo it or is refused 403
+        (``docs/workers.md``, "Trust model").
+        """
         payload = self._read_body()
         if payload is None:
             return
@@ -463,10 +473,34 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_error_json(503, str(exc))
         self._send_json(200, grant)
 
+    def _check_secret(self, worker_id: str, payload: dict) -> bool:
+        """Enforce the per-worker secret on a fleet POST.
+
+        Answers the 400/403 itself and returns False when the request
+        must not proceed.  The check lives at the HTTP layer: in-process
+        registry users (tests, the docs' executable block) are inside
+        the trust boundary already.
+        """
+        secret = payload.get("secret")
+        if secret is not None and not isinstance(secret, str):
+            self._send_error_json(
+                400,
+                f"'secret' must be a string, got {type(secret).__name__}",
+            )
+            return False
+        try:
+            self.server.store.fleet.verify_secret(worker_id, secret)
+        except WorkerAuthError as exc:
+            self._send_error_json(403, str(exc))
+            return False
+        return True
+
     def _post_heartbeat(self, worker_id: str) -> None:
         """``POST /v1/workers/<id>/heartbeat``: refresh liveness."""
         payload = self._read_body()
         if payload is None:
+            return
+        if not self._check_secret(worker_id, payload):
             return
         try:
             self._send_json(
@@ -496,6 +530,8 @@ class _Handler(BaseHTTPRequestHandler):
                 400, f"'wait_s' must be a number, got {wait_s!r}"
             )
         wait_s = max(0.0, min(float(wait_s), MAX_LEASE_WAIT_S))
+        if not self._check_secret(worker_id, payload):
+            return
         try:
             grant = self.server.store.fleet.lease(worker_id, wait_s=wait_s)
         except UnknownWorker as exc:
@@ -540,6 +576,8 @@ class _Handler(BaseHTTPRequestHandler):
                 400, f"'error' must be an object, got "
                      f"{type(error).__name__}"
             )
+        if not self._check_secret(worker_id, payload):
+            return
         try:
             ack = self.server.store.fleet.complete(
                 lease_id, worker_id, result=result, error=error

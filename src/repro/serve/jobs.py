@@ -1102,9 +1102,18 @@ WorkerRegistry` and the delivered outcomes fold through
             for key, _ in get_shard_policy("tenant").split(request.trace)
             if key not in done
         )
-        fleet_job = self.fleet.submit(
-            job.id, request.payload or {}, pending, request.retry
-        )
+        payload = dict(request.payload or {})
+        if (
+            payload.get("tenant_config") is None
+            and self._default_tenant_config is not None
+        ):
+            # A worker rebuilds its ReplaySpec from this payload alone,
+            # so the server-level --tenant-config must travel inline:
+            # without it the worker replays against the bare base spec
+            # and the folded cells silently diverge from the validated
+            # run.
+            payload["tenant_config"] = self._default_tenant_config.to_payload()
+        fleet_job = self.fleet.submit(job.id, payload, pending, request.retry)
         try:
             return fold_remote_cells(
                 request.trace,

@@ -39,6 +39,8 @@ clock.
 
 from __future__ import annotations
 
+import hmac
+import secrets
 import threading
 import time
 from collections import deque
@@ -53,6 +55,7 @@ __all__ = [
     "FleetJob",
     "StaleLease",
     "UnknownWorker",
+    "WorkerAuthError",
     "WorkerRegistry",
 ]
 
@@ -93,6 +96,27 @@ class StaleLease(KeyError):
         )
 
 
+class WorkerAuthError(PermissionError):
+    """A fleet request whose secret does not match the worker's.
+
+    Registration mints a per-worker secret; the HTTP layer requires it
+    on every later heartbeat/lease/result call (``403`` on mismatch),
+    so a host that merely knows a worker id — they are public in
+    ``GET /v1/workers`` — cannot post forged results or errors as that
+    worker.  See the trust-model section of ``docs/workers.md``.
+    """
+
+    def __init__(self, worker_id: str) -> None:
+        super().__init__(worker_id)
+        self.worker_id = worker_id
+
+    def __str__(self) -> str:
+        return (
+            f"bad or missing secret for worker {self.worker_id!r}; send "
+            f"the 'secret' issued at registration"
+        )
+
+
 class FleetCancelled(RuntimeError):
     """The fleet shut down (or the job was cancelled) mid-fold.
 
@@ -107,6 +131,9 @@ class _Worker:
     name: Optional[str]
     registered_at: float
     last_seen: float
+    #: The per-worker shared secret minted at registration; never
+    #: exposed through :meth:`WorkerRegistry.snapshot`.
+    secret: str = ""
     leases: set = field(default_factory=set)
 
 
@@ -134,8 +161,11 @@ class FleetJob:
         self, job_id: str, payload: dict, cells: List[str], retry: RetryPolicy
     ) -> None:
         self.id = job_id
-        #: The validated ``POST /v1/runs`` payload, shipped verbatim to
-        #: workers so they rebuild the exact same ReplaySpec.
+        #: The validated ``POST /v1/runs`` payload shipped to workers so
+        #: they rebuild the exact same ReplaySpec — with the server-level
+        #: ``--tenant-config`` injected inline when the body carried
+        #: none, since workers re-validate the payload with no server
+        #: defaults in scope.
         self.payload = payload
         self.retry = retry
         self.expected = len(cells)
@@ -295,7 +325,14 @@ class WorkerRegistry:
     # -- worker-facing surface -------------------------------------------------
 
     def register(self, name: Optional[str] = None) -> dict:
-        """Admit a worker; returns its id and the fleet's timing contract."""
+        """Admit a worker; returns its id, its secret, and the fleet's
+        timing contract.
+
+        The ``secret`` is the worker's proof of identity for the rest of
+        its life: the HTTP layer demands it on heartbeat/lease/result
+        calls (:meth:`verify_secret`), so worker ids — which the fleet
+        snapshot publishes — are not enough to impersonate a worker.
+        """
         events: List[tuple] = []
         with self._cond:
             if self._closed:
@@ -304,19 +341,38 @@ class WorkerRegistry:
             self._next_worker += 1
             worker_id = f"w-{self._next_worker:06d}"
             now = self._clock()
+            secret = secrets.token_hex(16)
             self._workers[worker_id] = _Worker(
                 id=worker_id,
                 name=str(name) if name else None,
                 registered_at=now,
                 last_seen=now,
+                secret=secret,
             )
             self._set_worker_gauge()
         self._flush_events(events)
         return {
             "worker": worker_id,
+            "secret": secret,
             "lease_timeout_s": self.lease_timeout_s,
             "heartbeat_timeout_s": self.heartbeat_timeout_s,
         }
+
+    def verify_secret(self, worker_id: str, secret: Optional[str]) -> None:
+        """Raise :class:`WorkerAuthError` unless ``secret`` matches.
+
+        An *unknown* worker id passes: the caller's own lookup then
+        raises the accurate :class:`UnknownWorker`/:class:`StaleLease`,
+        and the auth path leaks nothing about which ids are live that
+        the fleet snapshot doesn't already publish.
+        """
+        with self._cond:
+            worker = self._workers.get(worker_id)
+            expected = None if worker is None else worker.secret
+        if expected is not None and not hmac.compare_digest(
+            expected, secret or ""
+        ):
+            raise WorkerAuthError(worker_id)
 
     def heartbeat(self, worker_id: str) -> dict:
         """Refresh a worker's liveness deadline."""

@@ -3,8 +3,10 @@
 One worker process serves one control plane (``repro serve``).  The
 loop is deliberately boring:
 
-1. **Register** — ``POST /v1/workers`` returns a worker id plus the
-   fleet's timing contract (lease and heartbeat timeouts).
+1. **Register** — ``POST /v1/workers`` returns a worker id, a
+   per-worker ``secret`` every later call must echo (the control
+   plane answers 403 otherwise), and the fleet's timing contract
+   (lease and heartbeat timeouts).
 2. **Long-poll** — ``POST /v1/cells/lease`` blocks server-side up to
    ``wait_s`` for a cell; a 204 means "nothing to do, ask again".
    Every poll refreshes the worker's liveness, and a background
@@ -103,11 +105,12 @@ class _Heartbeat(threading.Thread):
     """Keep the worker live while a long cell replay blocks the loop."""
 
     def __init__(
-        self, client: _Client, worker_id: str, interval_s: float
+        self, client: _Client, worker_id: str, secret: str, interval_s: float
     ) -> None:
         super().__init__(name="repro-worker-heartbeat", daemon=True)
         self.client = client
         self.worker_id = worker_id
+        self.secret = secret
         self.interval_s = interval_s
         self.stop_event = threading.Event()
 
@@ -115,7 +118,8 @@ class _Heartbeat(threading.Thread):
         while not self.stop_event.wait(self.interval_s):
             try:
                 self.client.post(
-                    f"/v1/workers/{self.worker_id}/heartbeat", {},
+                    f"/v1/workers/{self.worker_id}/heartbeat",
+                    {"secret": self.secret},
                     timeout_s=10.0,
                 )
             except OSError:
@@ -146,6 +150,12 @@ def _execute_grant(grant: dict) -> dict:
             int(grant.get("attempt", 1)),
             request.retry if request.retry is not None else RetryPolicy(),
             request.faults,
+            # The lease deadline clock started at grant time: a backoff
+            # sleep here would burn lease budget (and with a short
+            # --lease-timeout-s could expire *every* retry before its
+            # result lands).  The requeue round-trip through the
+            # control plane already spaced the attempts.
+            backoff=False,
         )
         return {"result": result.to_payload()}
     except Exception as exc:  # noqa: BLE001 - classified, never fatal
@@ -191,17 +201,22 @@ def run_worker(
             raise WorkerError(
                 f"registration failed: HTTP {status} from {server}"
             )
-        return body["worker"], float(body["heartbeat_timeout_s"])
+        return (
+            body["worker"],
+            str(body.get("secret", "")),
+            float(body["heartbeat_timeout_s"]),
+        )
 
     try:
-        worker_id, heartbeat_timeout_s = _register()
+        worker_id, secret, heartbeat_timeout_s = _register()
     except (OSError, WorkerError) as exc:
         print(f"repro worker: {exc}", flush=True)
         return 1
     if not quiet:
         print(f"repro worker {worker_id} serving {server}", flush=True)
     heartbeat = _Heartbeat(
-        client, worker_id, interval_s=max(0.5, heartbeat_timeout_s / 3.0)
+        client, worker_id, secret,
+        interval_s=max(0.5, heartbeat_timeout_s / 3.0),
     )
     heartbeat.start()
     executed = 0
@@ -213,7 +228,8 @@ def run_worker(
             try:
                 status, grant = client.post(
                     "/v1/cells/lease",
-                    {"worker": worker_id, "wait_s": poll_s},
+                    {"worker": worker_id, "secret": secret,
+                     "wait_s": poll_s},
                     timeout_s=poll_s + 30.0,
                 )
             except OSError:
@@ -233,8 +249,9 @@ def run_worker(
                 # Evicted (e.g. a long pause outlived the heartbeat
                 # window): re-register and carry on.
                 try:
-                    worker_id, _ = _register()
+                    worker_id, secret, _ = _register()
                     heartbeat.worker_id = worker_id
+                    heartbeat.secret = secret
                     if not quiet:
                         print(
                             f"repro worker re-registered as {worker_id}",
@@ -257,7 +274,7 @@ def run_worker(
                     f"attempt {grant.get('attempt', 1)} -> {verdict}",
                     flush=True,
                 )
-            body = {"worker": worker_id}
+            body = {"worker": worker_id, "secret": secret}
             body.update(outcome)
             try:
                 status, ack = client.post(

@@ -99,6 +99,35 @@ def test_tenant_config_load_rejects_bad_json(tmp_path):
         TenantConfig.load(path)
 
 
+def test_tenant_config_to_payload_round_trips():
+    """The wire form the serve control plane ships to remote workers
+    must rebuild the identical config through from_payload."""
+    config = TenantConfig.from_payload({
+        "default": {"system": "dataflower", "fanout": 3},
+        "tenants": {
+            "acme": {
+                "system": "faasflow",
+                "placement": "hashed",
+                "timeout_s": 30,
+                "input_bytes": "2MB",
+                "system_overrides": {"cold_start_s": 0.2},
+                "cluster": {"worker_count": 4},
+                "max_concurrent_runs": 2,
+            },
+            "globex": {},
+        },
+    })
+    assert TenantConfig.from_payload(config.to_payload()) == config
+    # The payload is pure JSON scalars/containers (it crosses the wire).
+    import json
+
+    json.loads(json.dumps(config.to_payload()))
+    # Empty layers serialize to the empty schema and still round-trip.
+    assert TenantConfig().to_payload() == {}
+    assert TenantConfig.from_payload(TenantConfig().to_payload()) \
+        == TenantConfig()
+
+
 # -- YAML-lite ----------------------------------------------------------------
 
 

@@ -32,6 +32,7 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -53,6 +54,7 @@ from repro.serve.workers import (
     FleetCancelled,
     StaleLease,
     UnknownWorker,
+    WorkerAuthError,
     WorkerRegistry,
 )
 from repro.worker import _execute_grant
@@ -431,9 +433,168 @@ def test_jobstore_remote_run_matches_local_run_byte_for_byte(tmp_path):
     assert len(journaled) == 6
 
 
+def test_jobstore_remote_run_applies_server_default_tenant_config():
+    """A serve-level ``--tenant-config`` must reach remote workers: the
+    control plane injects it inline into the shipped payload, because a
+    worker re-validates that payload with no server defaults in scope —
+    a bare payload would replay cells without the profiles and fold the
+    divergent residues silently."""
+    from repro.parallel.profiles import TenantConfig
+
+    config = TenantConfig.from_payload({"default": {"system": "faasflow"}})
+    config.validate("dataflower", "round_robin")
+    body = {**RUN_BODY, "workers": "remote"}  # no inline tenant_config
+    request = parse_run_request(body, config)
+    control = render_json(
+        run_parallel_replay(
+            request.trace, request.spec, shards=1, workers=1
+        ).to_dict()
+    )
+    bare = parse_run_request(dict(RUN_BODY))
+    assert control != render_json(
+        run_parallel_replay(
+            bare.trace, bare.spec, shards=1, workers=1
+        ).to_dict()
+    ), "the config must be load-bearing or this test proves nothing"
+
+    store = JobStore(workers=1, default_tenant_config=config)
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=_drive_store_fleet, args=(store, stop), daemon=True
+    )
+    thread.start()
+    try:
+        run_id = store.submit(parse_run_request(body, config))
+        snap = _finish(store, run_id)
+        assert snap["status"] == "done", snap.get("error")
+        assert render_json(snap["report"]) == control
+    finally:
+        stop.set()
+        store.close()
+        thread.join(timeout=30)
+
+
+def test_worker_execution_skips_retry_backoff(monkeypatch):
+    """A retried grant must not sleep out its backoff inside the lease
+    window: the requeue round-trip already spaced the attempts, and with
+    a short ``--lease-timeout-s`` the sleep would expire every retry
+    before its result could land."""
+    calls = []
+    monkeypatch.setattr(
+        RetryPolicy,
+        "backoff_s",
+        lambda self, seed, key, attempt: calls.append(attempt) or 0.0,
+    )
+    grant = {
+        "lease": "l-00000001",
+        "run_id": "run-000001",
+        "cell": "tenant0",
+        "attempt": 2,
+        "request": {
+            "app": "wc",
+            "seed": 3,
+            "synth": {"tenants": 1, "duration_s": 5,
+                      "mean_rpm": 30, "seed": 5},
+        },
+    }
+    outcome = _execute_grant(grant)
+    assert "result" in outcome, outcome
+    assert calls == [], "worker-side retry backoff must be skipped"
+
+
 def test_workers_field_rejects_unknown_strings():
     with pytest.raises(BadRequest, match="'remote'"):
         parse_run_request({**RUN_BODY, "workers": "local"})
+
+
+# -- per-worker secrets ------------------------------------------------------------
+
+
+def test_registry_mints_and_verifies_worker_secrets():
+    registry = WorkerRegistry()
+    first = registry.register()
+    second = registry.register()
+    assert first["secret"] and first["secret"] != second["secret"]
+    registry.verify_secret(first["worker"], first["secret"])  # no raise
+    with pytest.raises(WorkerAuthError):
+        registry.verify_secret(first["worker"], second["secret"])
+    with pytest.raises(WorkerAuthError):
+        registry.verify_secret(first["worker"], None)
+    # Unknown ids pass through: the caller's own lookup answers the
+    # accurate UnknownWorker/StaleLease instead.
+    registry.verify_secret("w-999999", "whatever")
+    assert "secret" not in json.dumps(registry.snapshot())
+
+
+def _http(url, body, timeout=10):
+    """(status, parsed JSON body or None) for one POST, errors included."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            raw = resp.read()
+            return resp.status, json.loads(raw) if raw else None
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        return exc.code, json.loads(raw) if raw else None
+
+
+def test_fleet_http_surface_requires_worker_secret():
+    """The HTTP layer is the trust boundary: a fleet POST naming a live
+    worker id but carrying a wrong or missing secret is refused 403 and
+    changes nothing (``docs/workers.md``, "Trust model")."""
+    from repro.serve import create_server
+
+    srv = create_server(port=0, workers=1, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = srv.url
+        status, grant = _http(f"{base}/v1/workers", {"name": "authed"})
+        assert status == 200
+        worker_id, secret = grant["worker"], grant["secret"]
+        assert secret
+
+        for body in ({"secret": "forged"}, {}):
+            status, payload = _http(
+                f"{base}/v1/workers/{worker_id}/heartbeat", body
+            )
+            assert status == 403, payload
+        status, _payload = _http(
+            f"{base}/v1/cells/lease",
+            {"worker": worker_id, "secret": "forged", "wait_s": 0},
+        )
+        assert status == 403
+        status, _payload = _http(
+            f"{base}/v1/cells/l-00000001/result",
+            {"worker": worker_id, "secret": "forged",
+             "error": {"kind": "app-error", "message": "forged"}},
+        )
+        assert status == 403
+
+        # The issued secret sails through (204: nothing queued).
+        status, _payload = _http(
+            f"{base}/v1/workers/{worker_id}/heartbeat", {"secret": secret}
+        )
+        assert status == 200
+        status, _payload = _http(
+            f"{base}/v1/cells/lease",
+            {"worker": worker_id, "secret": secret, "wait_s": 0},
+        )
+        assert status == 204
+        # An unknown worker id still reads 404, not 403 — the auth path
+        # leaks nothing the fleet snapshot doesn't already publish.
+        status, _payload = _http(
+            f"{base}/v1/cells/lease", {"worker": "w-999999", "wait_s": 0}
+        )
+        assert status == 404
+        assert "secret" not in json.dumps(_request(f"{base}/v1/workers"))
+    finally:
+        srv.close()
+        thread.join(timeout=10)
 
 
 # -- chaos: SIGKILL a real worker subprocess mid-cell ------------------------------
